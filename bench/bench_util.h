@@ -1,0 +1,121 @@
+// Shared plumbing for the figure/table harnesses: common flags, list
+// parsing, and result-cell formatting.
+//
+// Every harness accepts:
+//   --scale=tiny|bench|paper   dataset size (default bench)
+//   --seed=N                   RNG seed for graphs and algorithms
+//   --mc=N                     MC simulations for final spread evaluation
+//   --budget=SECONDS           per-cell time budget (over => DNF)
+//   --full                     paper-fidelity settings (slow!)
+//   --csv                      mirror tables as CSV to stdout
+#ifndef IMBENCH_BENCH_BENCH_UTIL_H_
+#define IMBENCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "framework/experiment.h"
+
+namespace imbench::benchutil {
+
+struct CommonFlags {
+  std::string* scale;
+  int64_t* seed;
+  int64_t* mc;
+  double* budget;
+  bool* full;
+  bool* csv;
+};
+
+inline CommonFlags AddCommonFlags(FlagSet& flags, int64_t default_mc = 1000,
+                                  double default_budget = 120.0,
+                                  const char* default_scale = "bench") {
+  CommonFlags c;
+  c.scale = flags.AddString("scale", default_scale,
+                            "dataset scale: tiny|bench|paper");
+  c.seed = flags.AddInt("seed", 7, "RNG seed");
+  c.mc = flags.AddInt("mc", default_mc, "MC simulations for spread evaluation");
+  c.budget = flags.AddDouble("budget", default_budget,
+                             "per-cell time budget in seconds (over => DNF)");
+  c.full = flags.AddBool("full", false,
+                         "paper-fidelity settings: all datasets, k to 200, "
+                         "Table 2 parameters, 10K evaluation simulations");
+  c.csv = flags.AddBool("csv", false, "also print tables as CSV");
+  return c;
+}
+
+inline WorkbenchOptions ToWorkbenchOptions(const CommonFlags& c) {
+  WorkbenchOptions options;
+  options.scale = ParseDatasetScale(*c.scale);
+  options.seed = static_cast<uint64_t>(*c.seed);
+  options.evaluation_simulations =
+      *c.full ? kReferenceSimulations : static_cast<uint32_t>(*c.mc);
+  options.time_budget_seconds = *c.budget;
+  return options;
+}
+
+inline std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) items.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
+inline std::vector<uint32_t> ParseKList(const std::string& csv) {
+  std::vector<uint32_t> ks;
+  for (const std::string& item : SplitCsv(csv)) {
+    ks.push_back(static_cast<uint32_t>(std::stoul(item)));
+  }
+  return ks;
+}
+
+// Spread cell: the MC-evaluated mean, or the failure status.
+inline std::string SpreadCell(const CellResult& cell) {
+  if (cell.status == CellResult::Status::kUnsupported) return "NA";
+  std::string value = TextTable::Num(cell.spread.mean, 1);
+  if (!cell.ok()) {
+    value += " (";
+    value += CellStatusName(cell.status);
+    value += ")";
+  }
+  return value;
+}
+
+inline std::string TimeCell(const CellResult& cell) {
+  if (cell.status == CellResult::Status::kUnsupported) return "NA";
+  std::string value = TextTable::Secs(cell.select_seconds);
+  if (cell.status == CellResult::Status::kDnf) value += " (DNF)";
+  return value;
+}
+
+inline std::string MemoryCell(const CellResult& cell) {
+  if (cell.status == CellResult::Status::kUnsupported) return "NA";
+  std::string value = TextTable::MegaBytes(cell.peak_heap_bytes);
+  if (cell.status == CellResult::Status::kOverBudget) value += " (Crashed)";
+  return value;
+}
+
+inline void EmitTable(const TextTable& table, bool csv) {
+  table.Print();
+  if (csv) {
+    std::printf("\n-- csv --\n%s", table.ToCsv().c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void Banner(const char* title) {
+  std::printf("=== %s ===\n", title);
+}
+
+}  // namespace imbench::benchutil
+
+#endif  // IMBENCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// Extension experiment (not a numbered paper figure): robustness of the
+// skyline techniques to the IC constant probability p.
+//
+// Sec. 2.1.1 notes the literature uses p = 0.01, p = 0.1, and spectra in
+// between; Sec. 5 lists robustness to parameters as the fourth desirable
+// property, and myth M6 is precisely about behavior changing drastically
+// with edge probabilities. This harness sweeps p and reports spread,
+// running time and memory for the skyline techniques, exposing the
+// subcritical -> supercritical transition that drives the IC results.
+
+#include <memory>
+
+#include "algorithms/imm.h"
+#include "bench/bench_util.h"
+#include "framework/metrics.h"
+#include "framework/registry.h"
+
+using namespace imbench;
+using namespace imbench::benchutil;
+
+int main(int argc, char** argv) {
+  FlagSet flags("extension: robustness to the IC constant probability");
+  const CommonFlags common = AddCommonFlags(flags, /*default_mc=*/500);
+  std::string* dataset = flags.AddString("dataset", "nethept", "profile");
+  int64_t* k = flags.AddInt("k", 25, "seed-set size");
+  std::string* ps_flag =
+      flags.AddString("p", "0.01,0.02,0.05,0.1,0.2", "IC probabilities");
+  int64_t* rr_budget = flags.AddInt("rr-budget", 6'000'000,
+                                    "RR-entry memory budget for IMM");
+  flags.Parse(argc, argv);
+
+  Workbench bench(ToWorkbenchOptions(common));
+  std::vector<double> ps;
+  for (const std::string& p : SplitCsv(*ps_flag)) ps.push_back(std::stod(p));
+  const uint32_t seeds = static_cast<uint32_t>(*k);
+
+  Banner("Extension: skyline techniques vs IC probability p");
+  std::printf("(dataset %s, k=%u; watch IMM's memory cross the budget as p "
+              "grows)\n\n",
+              dataset->c_str(), seeds);
+  TextTable table({"p", "PMC spread", "PMC time", "IMM spread", "IMM time",
+                   "IMM mem (MB)", "IMM status", "EaSyIM spread",
+                   "EaSyIM time", "IRIE spread", "IRIE time"});
+  for (const double p : ps) {
+    // Build one weighted graph per p and drive algorithms directly so every
+    // technique sees exactly the same weights.
+    const Graph& graph =
+        bench.GetGraph(*dataset, WeightModel::kIcConstant, p);
+    auto run_direct = [&](std::unique_ptr<ImAlgorithm> algorithm) {
+      SelectionInput input;
+      input.graph = &graph;
+      input.diffusion = DiffusionKind::kIndependentCascade;
+      input.k = seeds;
+      input.seed = bench.options().seed;
+      Counters counters;
+      input.counters = &counters;
+      RunMeter meter;
+      meter.Start();
+      SelectionResult selection = algorithm->Select(input);
+      const Measurement m = meter.Stop();
+      CellResult cell;
+      cell.seeds = std::move(selection.seeds);
+      cell.select_seconds = m.seconds;
+      cell.peak_heap_bytes = m.peak_heap_bytes;
+      if (selection.over_budget) {
+        cell.status = CellResult::Status::kOverBudget;
+      }
+      cell.spread = EstimateSpread(graph, input.diffusion, cell.seeds,
+                                   bench.options().evaluation_simulations,
+                                   bench.options().seed);
+      return cell;
+    };
+
+    const CellResult pmc = run_direct(MakeAlgorithm("PMC", 100));
+    ImmOptions imm_options;
+    imm_options.epsilon = 0.5;
+    imm_options.max_rr_entries = static_cast<uint64_t>(*rr_budget);
+    const CellResult imm = run_direct(std::make_unique<Imm>(imm_options));
+    const CellResult easy = run_direct(MakeAlgorithm("EaSyIM", 25));
+    const CellResult irie = run_direct(MakeAlgorithm("IRIE"));
+
+    table.AddRow({TextTable::Num(p, 2), TextTable::Num(pmc.spread.mean, 1),
+                  TextTable::Secs(pmc.select_seconds),
+                  TextTable::Num(imm.spread.mean, 1),
+                  TextTable::Secs(imm.select_seconds),
+                  TextTable::MegaBytes(imm.peak_heap_bytes),
+                  CellStatusName(imm.status),
+                  TextTable::Num(easy.spread.mean, 1),
+                  TextTable::Secs(easy.select_seconds),
+                  TextTable::Num(irie.spread.mean, 1),
+                  TextTable::Secs(irie.select_seconds)});
+  }
+  EmitTable(table, *common.csv);
+  std::printf(
+      "Expected shape: all techniques agree at small p; as p crosses the\n"
+      "supercritical threshold the RR corpus (IMM memory column) explodes\n"
+      "while the score/snapshot techniques degrade gracefully (myth M6).\n");
+  return 0;
+}

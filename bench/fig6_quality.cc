@@ -1,0 +1,29 @@
+// Fig. 6: growth of expected spread against the number of seeds, for every
+// benchmarked technique across datasets and diffusion models. Each printed
+// table is one panel of the figure (spread values down an algorithm row as
+// k grows along the columns).
+
+#include "bench/bench_util.h"
+#include "bench/grid.h"
+
+using namespace imbench;
+using namespace imbench::benchutil;
+
+int main(int argc, char** argv) {
+  FlagSet flags("Fig. 6: spread vs #seeds for all techniques");
+  const CommonFlags common = AddCommonFlags(flags);
+  const GridFlags grid = AddGridFlags(flags);
+  flags.Parse(argc, argv);
+  ApplyFullGridDefaults(common, grid);
+
+  Workbench bench(ToWorkbenchOptions(common));
+  const auto datasets = SplitCsv(*grid.datasets);
+  const auto models = ParseModels(*grid.models);
+  const auto ks = ParseKList(*grid.ks);
+
+  Banner("Fig. 6: Growth of spread against the number of seeds");
+  const auto cells = RunGrid(bench, datasets, models, ks, *common.full);
+  PrintGrid(cells, datasets, models, ks, *common.csv,
+            [](const CellResult& r) { return SpreadCell(r); });
+  return 0;
+}

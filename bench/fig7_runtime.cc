@@ -1,0 +1,28 @@
+// Fig. 7: growth of running time (seed-selection wall clock) against the
+// number of seeds, for every benchmarked technique across datasets and
+// diffusion models.
+
+#include "bench/bench_util.h"
+#include "bench/grid.h"
+
+using namespace imbench;
+using namespace imbench::benchutil;
+
+int main(int argc, char** argv) {
+  FlagSet flags("Fig. 7: running time vs #seeds for all techniques");
+  const CommonFlags common = AddCommonFlags(flags);
+  const GridFlags grid = AddGridFlags(flags);
+  flags.Parse(argc, argv);
+  ApplyFullGridDefaults(common, grid);
+
+  Workbench bench(ToWorkbenchOptions(common));
+  const auto datasets = SplitCsv(*grid.datasets);
+  const auto models = ParseModels(*grid.models);
+  const auto ks = ParseKList(*grid.ks);
+
+  Banner("Fig. 7: Growth of running time (seconds) against the number of seeds");
+  const auto cells = RunGrid(bench, datasets, models, ks, *common.full);
+  PrintGrid(cells, datasets, models, ks, *common.csv,
+            [](const CellResult& r) { return TimeCell(r); });
+  return 0;
+}

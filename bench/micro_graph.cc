@@ -1,0 +1,77 @@
+// Micro benchmarks for the graph substrate: generators, CSR construction,
+// weight assignment, SCC decomposition.
+
+#include <benchmark/benchmark.h>
+
+#include "framework/datasets.h"
+#include "graph/generators.h"
+#include "graph/scc.h"
+#include "graph/weights.h"
+
+namespace imbench {
+namespace {
+
+constexpr NodeId kNodes = 10000;
+constexpr uint64_t kArcs = 50000;
+
+void BM_GenerateRmat(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(Rmat(kNodes, kArcs, RmatParams{}, rng));
+  }
+}
+BENCHMARK(BM_GenerateRmat);
+
+void BM_GenerateErdosRenyi(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(2);
+    benchmark::DoNotOptimize(ErdosRenyi(kNodes, kArcs, rng));
+  }
+}
+BENCHMARK(BM_GenerateErdosRenyi);
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(BarabasiAlbert(kNodes, 5, rng));
+  }
+}
+BENCHMARK(BM_GenerateBarabasiAlbert);
+
+void BM_GenerateChungLu(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(ChungLu(kNodes, kArcs, 2.5, rng));
+  }
+}
+BENCHMARK(BM_GenerateChungLu);
+
+void BM_BuildCsr(benchmark::State& state) {
+  Rng rng(5);
+  const EdgeList list = Rmat(kNodes, kArcs, RmatParams{}, rng);
+  for (auto _ : state) {
+    std::vector<Arc> arcs = list.arcs;
+    benchmark::DoNotOptimize(Graph::FromArcs(list.num_nodes, std::move(arcs)));
+  }
+}
+BENCHMARK(BM_BuildCsr);
+
+void BM_AssignWeightedCascade(benchmark::State& state) {
+  Graph graph = MakeDataset("hepph", DatasetScale::kBench);
+  for (auto _ : state) {
+    AssignWeightedCascade(graph);
+    benchmark::DoNotOptimize(graph.weights().data());
+  }
+}
+BENCHMARK(BM_AssignWeightedCascade);
+
+void BM_Scc(benchmark::State& state) {
+  Graph graph = MakeDataset("hepph", DatasetScale::kBench);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StronglyConnectedComponents(graph));
+  }
+}
+BENCHMARK(BM_Scc);
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,29 @@
+// Table 5: the diffusion models supported by the benchmarked algorithms.
+// Rendered straight from the registry, so it can never drift from the
+// behavior of the code.
+
+#include "bench/bench_util.h"
+#include "framework/registry.h"
+
+using namespace imbench;
+using namespace imbench::benchutil;
+
+int main(int argc, char** argv) {
+  FlagSet flags("Table 5: model support matrix");
+  bool* csv = flags.AddBool("csv", false, "also print as CSV");
+  bool* baselines =
+      flags.AddBool("baselines", false, "include the extra baselines");
+  flags.Parse(argc, argv);
+
+  Banner("Table 5: Diffusion models supported by the benchmarked algorithms");
+  TextTable table({"Algorithm", "Independent Cascade", "Linear Threshold",
+                   "External parameter"});
+  for (const AlgorithmSpec& spec : AlgorithmRegistry()) {
+    if (!spec.in_benchmark && !*baselines) continue;
+    table.AddRow({spec.name, spec.supports_ic ? "yes" : "-",
+                  spec.supports_lt ? "yes" : "-",
+                  spec.HasParameter() ? spec.parameter_name : "(none)"});
+  }
+  EmitTable(table, *csv);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The study's concluding decision tree (Fig. 11b) as a runnable tool:
+// given the diffusion model and whether main memory is scarce, it names
+// the technique the benchmark recommends, explains why, and runs it.
+//
+//   ./choose_algorithm --model=WC --memory-constrained
+//   ./choose_algorithm --model=IC --dataset=hepph --k=20
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "framework/experiment.h"
+
+using namespace imbench;
+
+namespace {
+
+struct Recommendation {
+  const char* algorithm;
+  const char* reason;
+};
+
+// Fig. 11b: quality first. With memory to spare, pick the fastest of the
+// quality leaders for the model; under memory pressure, EaSyIM.
+Recommendation Recommend(WeightModel model, bool memory_constrained) {
+  if (memory_constrained) {
+    return {"EaSyIM",
+            "memory is scarce: EaSyIM stores one number per node, the "
+            "smallest footprint in the study (Sec. 5.4), with competitive "
+            "quality"};
+  }
+  switch (model) {
+    case WeightModel::kIcConstant:
+    case WeightModel::kTrivalency:
+      return {"PMC",
+              "IC with uniform/constant probabilities: the RR-set methods "
+              "blow up in memory here (myth M6); PMC is the quality+speed "
+              "leader"};
+    case WeightModel::kWc:
+      return {"IMM",
+              "WC keeps RR sets small, where IMM is the fastest "
+              "quality-guaranteed technique"};
+    case WeightModel::kLtUniform:
+    case WeightModel::kLtRandom:
+    case WeightModel::kLtParallel:
+      return {"TIM+",
+              "under LT, TIM+ converges at a larger epsilon than IMM and "
+              "ends up marginally faster at equal quality (myth M3)"};
+  }
+  return {"IMM", "default"};
+}
+
+WeightModel ParseModel(const std::string& name) {
+  if (name == "IC") return WeightModel::kIcConstant;
+  if (name == "WC") return WeightModel::kWc;
+  if (name == "TV") return WeightModel::kTrivalency;
+  if (name == "LT") return WeightModel::kLtUniform;
+  std::fprintf(stderr, "unknown model '%s' (IC|WC|TV|LT)\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("Fig. 11b decision tree: choose and run an IM technique");
+  std::string* model_name = flags.AddString("model", "WC", "IC|WC|TV|LT");
+  bool* memory_constrained =
+      flags.AddBool("memory-constrained", false, "main memory is scarce");
+  std::string* dataset = flags.AddString("dataset", "nethept", "profile");
+  std::string* scale = flags.AddString("scale", "tiny", "dataset scale");
+  int64_t* k = flags.AddInt("k", 10, "seed-set size");
+  flags.Parse(argc, argv);
+
+  const WeightModel model = ParseModel(*model_name);
+  const Recommendation rec = Recommend(model, *memory_constrained);
+  std::printf("model %s, memory %s => recommended technique: %s\n  (%s)\n\n",
+              model_name->c_str(),
+              *memory_constrained ? "constrained" : "plentiful",
+              rec.algorithm, rec.reason);
+
+  WorkbenchOptions options;
+  options.scale = ParseDatasetScale(*scale);
+  options.evaluation_simulations = 1000;
+  Workbench bench(options);
+  const CellResult cell = bench.RunCell(rec.algorithm, *dataset, model,
+                                        static_cast<uint32_t>(*k));
+  const Graph& graph = bench.GetGraph(*dataset, model);
+  std::printf(
+      "%s on %s (%u nodes): spread %.1f (%.2f%% of network), "
+      "selection %.3fs, working memory %.2f MB\n",
+      rec.algorithm, dataset->c_str(), graph.num_nodes(), cell.spread.mean,
+      100.0 * cell.spread.mean / graph.num_nodes(), cell.select_seconds,
+      cell.peak_heap_bytes / 1e6);
+  return 0;
+}

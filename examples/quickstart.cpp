@@ -1,0 +1,62 @@
+// Quickstart: generate a small social network, pick 10 influential seeds
+// with IMM, and evaluate their expected spread with Monte-Carlo
+// simulations.
+//
+//   ./quickstart [--nodes=2000] [--edges=8000] [--k=10] [--seed=7]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "diffusion/spread.h"
+#include "framework/registry.h"
+#include "graph/generators.h"
+#include "graph/weights.h"
+
+using namespace imbench;
+
+int main(int argc, char** argv) {
+  FlagSet flags("imbench quickstart: IMM on a synthetic social network");
+  int64_t* nodes = flags.AddInt("nodes", 2000, "number of users");
+  int64_t* edges = flags.AddInt("edges", 8000, "number of follow edges");
+  int64_t* k = flags.AddInt("k", 10, "seed-set size");
+  int64_t* seed = flags.AddInt("seed", 7, "RNG seed");
+  flags.Parse(argc, argv);
+
+  // 1. Build a graph. R-MAT gives the heavy-tailed degree distribution of
+  //    real social networks; LoadEdgeList() reads SNAP files instead.
+  Rng rng(static_cast<uint64_t>(*seed));
+  EdgeList list = Rmat(static_cast<NodeId>(*nodes),
+                       static_cast<uint64_t>(*edges), RmatParams{}, rng);
+  Graph graph = Graph::FromArcs(list.num_nodes, std::move(list.arcs));
+
+  // 2. Choose a diffusion model. Weighted Cascade pairs with IC and needs
+  //    no probability parameter: W(u,v) = 1/indegree(v).
+  AssignWeightedCascade(graph);
+
+  // 3. Select seeds with IMM (the study's fastest high-quality technique
+  //    for WC; see choose_algorithm.cpp for the full decision tree).
+  std::unique_ptr<ImAlgorithm> imm = MakeAlgorithm("IMM");
+  SelectionInput input;
+  input.graph = &graph;
+  input.diffusion = DiffusionKind::kIndependentCascade;
+  input.k = static_cast<uint32_t>(*k);
+  input.seed = static_cast<uint64_t>(*seed);
+  const SelectionResult result = imm->Select(input);
+
+  // 4. Evaluate the expected spread with 10K MC simulations (Kempe et
+  //    al.'s recommendation, which the benchmark follows).
+  const SpreadEstimate spread =
+      EstimateSpread(graph, input.diffusion, result.seeds,
+                     kReferenceSimulations, input.seed);
+
+  std::printf("graph: %u nodes, %llu arcs (weighted cascade)\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  std::printf("seeds (k=%u):", input.k);
+  for (const NodeId s : result.seeds) std::printf(" %u", s);
+  std::printf("\nexpected spread: %.1f users (+/- %.2f std err, %u sims)\n",
+              spread.mean, spread.StdError(), spread.simulations);
+  std::printf("IMM's own extrapolated estimate: %.1f (see myth M4)\n",
+              result.internal_spread_estimate);
+  return 0;
+}

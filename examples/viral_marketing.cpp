@@ -1,0 +1,89 @@
+// Viral-marketing scenario: a brand wants to gift products to a handful of
+// users of a YouTube-like network so that word-of-mouth reaches as many
+// users as possible. Compares campaign budgets (seed counts) and shows the
+// diminishing returns that submodularity guarantees, plus the per-seed
+// "cost of a convert".
+//
+//   ./viral_marketing [--scale=tiny|bench|paper] [--budgets=5,10,25,50]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "diffusion/spread.h"
+#include "framework/datasets.h"
+#include "framework/registry.h"
+#include "graph/weights.h"
+
+using namespace imbench;
+
+namespace {
+
+std::vector<uint32_t> ParseBudgets(const std::string& csv) {
+  std::vector<uint32_t> budgets;
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    budgets.push_back(
+        static_cast<uint32_t>(std::stoul(csv.substr(start, comma - start))));
+    start = comma + 1;
+  }
+  return budgets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("viral marketing on a YouTube-like network");
+  std::string* scale = flags.AddString("scale", "tiny", "dataset scale");
+  std::string* budgets_csv =
+      flags.AddString("budgets", "5,10,25,50", "seed budgets to compare");
+  int64_t* mc = flags.AddInt("mc", 2000, "MC simulations for evaluation");
+  flags.Parse(argc, argv);
+
+  // The YouTube profile from the study, under Weighted Cascade: each user
+  // is influenced by their subscriptions with equal probability.
+  Graph graph =
+      MakeDataset("youtube", ParseDatasetScale(*scale));
+  AssignWeightedCascade(graph);
+  std::printf(
+      "campaign network: %u users, %llu follow edges (youtube profile, "
+      "%s scale)\n\n",
+      graph.num_nodes(), static_cast<unsigned long long>(graph.num_edges()),
+      scale->c_str());
+
+  // PMC tops the study's quality/efficiency skyline for IC-family models.
+  std::unique_ptr<ImAlgorithm> pmc = MakeAlgorithm("PMC");
+
+  TextTable table({"budget k", "reach (users)", "% of network", "users/seed",
+                   "marginal reach", "planning time (s)"});
+  double previous_reach = 0;
+  for (const uint32_t k : ParseBudgets(*budgets_csv)) {
+    SelectionInput input;
+    input.graph = &graph;
+    input.diffusion = DiffusionKind::kIndependentCascade;
+    input.k = k;
+    input.seed = 1;
+    Timer timer;
+    const SelectionResult result = pmc->Select(input);
+    const double secs = timer.Seconds();
+    const SpreadEstimate spread =
+        EstimateSpread(graph, input.diffusion, result.seeds,
+                       static_cast<uint32_t>(*mc), 99);
+    table.AddRow({TextTable::Int(k), TextTable::Num(spread.mean, 1),
+                  TextTable::Num(100.0 * spread.mean / graph.num_nodes(), 2),
+                  TextTable::Num(spread.mean / k, 1),
+                  TextTable::Num(spread.mean - previous_reach, 1),
+                  TextTable::Secs(secs)});
+    previous_reach = spread.mean;
+  }
+  table.Print();
+  std::printf(
+      "\nNote the sub-linear 'marginal reach' column: spread is submodular,"
+      "\nso each extra gifted product converts fewer new users.\n");
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "algorithms/algorithm.h"
+
+// Interface-only translation unit; keeps the vtable anchored here.

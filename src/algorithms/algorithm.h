@@ -1,0 +1,74 @@
+// Common interface implemented by every benchmarked IM technique.
+//
+// Algorithms receive an immutable weighted graph plus the diffusion model
+// and return k seeds together with their own internal spread estimate
+// (which, for the RR-set techniques, is the *extrapolated* value their
+// reference implementations print — see myth M4). The benchmarking
+// framework always re-evaluates the returned seeds with 10K MC simulations
+// so all techniques are compared from the same standpoint (Sec. 5.1).
+#ifndef IMBENCH_ALGORITHMS_ALGORITHM_H_
+#define IMBENCH_ALGORITHMS_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+// Instrumentation counters filled in by algorithms as they run. Node
+// lookups are the metric of Appendix C (spread evaluations per iteration).
+struct Counters {
+  uint64_t spread_evaluations = 0;  // "node lookups": marginal-gain evals
+  uint64_t simulations = 0;         // individual cascade simulations
+  uint64_t rr_sets = 0;             // RR sets generated
+  uint64_t snapshots = 0;           // snapshot graphs materialized
+  uint64_t scoring_rounds = 0;      // IMRank / EaSyIM refinement rounds
+};
+
+// Inputs to a seed-selection run.
+struct SelectionInput {
+  const Graph* graph = nullptr;
+  DiffusionKind diffusion = DiffusionKind::kIndependentCascade;
+  uint32_t k = 0;
+  uint64_t seed = 1;           // RNG seed: runs are reproducible
+  Counters* counters = nullptr;  // optional
+};
+
+// Output of a seed-selection run.
+struct SelectionResult {
+  std::vector<NodeId> seeds;
+  // The algorithm's own estimate of σ(seeds); 0 when the technique does not
+  // produce one. For TIM+/IMM this is the coverage-extrapolated spread.
+  double internal_spread_estimate = 0;
+  // Set when the run exhausted its configured memory budget and returned a
+  // best-effort result (reported as "Crashed" in the paper's tables).
+  bool over_budget = false;
+};
+
+// Base class for all IM techniques (the M of Alg. 3).
+class ImAlgorithm {
+ public:
+  virtual ~ImAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual bool Supports(DiffusionKind kind) const = 0;
+
+  // Selects input.k seeds. Must be callable repeatedly and from any thread
+  // as long as each call uses a distinct instance or is serialized.
+  virtual SelectionResult Select(const SelectionInput& input) = 0;
+};
+
+// Bumps `counters->field` only when counters is provided.
+inline void CountSpreadEvaluation(Counters* counters, uint64_t n = 1) {
+  if (counters != nullptr) counters->spread_evaluations += n;
+}
+inline void CountSimulations(Counters* counters, uint64_t n) {
+  if (counters != nullptr) counters->simulations += n;
+}
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_ALGORITHM_H_

@@ -1,0 +1,46 @@
+#include "algorithms/celf.h"
+
+#include "algorithms/lazy_queue.h"
+#include "common/check.h"
+#include "diffusion/spread.h"
+
+namespace imbench {
+
+SelectionResult Celf::Select(const SelectionInput& input) {
+  const Graph& graph = *input.graph;
+  IMBENCH_CHECK(input.k <= graph.num_nodes());
+  CascadeContext context(graph.num_nodes());
+  Rng rng = Rng::ForStream(input.seed, 0);
+
+  SelectionResult result;
+  std::vector<NodeId> seeds;
+  std::vector<NodeId> candidate;
+  double current_spread = 0;
+
+  auto marginal_gain = [&](NodeId v) {
+    candidate = seeds;
+    candidate.push_back(v);
+    CountSimulations(input.counters, options_.simulations);
+    const SpreadEstimate estimate = EstimateSpread(
+        graph, input.diffusion, candidate, options_.simulations, context, rng);
+    return estimate.mean - current_spread;
+  };
+  auto commit = [&](NodeId v) {
+    candidate = seeds;
+    candidate.push_back(v);
+    // Re-estimate σ(S) once per selection so gains stay anchored; cheaper
+    // than storing each candidate's absolute spread.
+    CountSimulations(input.counters, options_.simulations);
+    current_spread = EstimateSpread(graph, input.diffusion, candidate,
+                                    options_.simulations, context, rng)
+                         .mean;
+    seeds.push_back(v);
+  };
+  result.seeds =
+      CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
+                 input.counters);
+  result.internal_spread_estimate = current_spread;
+  return result;
+}
+
+}  // namespace imbench

@@ -1,0 +1,33 @@
+// CELF — Cost-Effective Lazy Forward selection (Leskovec et al., KDD'07).
+//
+// Identical output to GREEDY (up to MC noise) but prunes marginal-gain
+// re-evaluations using submodularity: a node whose stale gain already
+// trails the current best need not be re-simulated (Sec. 4.1).
+#ifndef IMBENCH_ALGORITHMS_CELF_H_
+#define IMBENCH_ALGORITHMS_CELF_H_
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+struct CelfOptions {
+  // r: MC simulations per marginal-gain estimate (external parameter;
+  // Table 2 finds 10000 optimal for IC/WC/LT).
+  uint32_t simulations = 10000;
+};
+
+class Celf : public ImAlgorithm {
+ public:
+  explicit Celf(const CelfOptions& options) : options_(options) {}
+
+  std::string name() const override { return "CELF"; }
+  bool Supports(DiffusionKind) const override { return true; }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  CelfOptions options_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_CELF_H_

@@ -1,0 +1,108 @@
+#include "algorithms/easyim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "diffusion/spread.h"
+
+namespace imbench {
+
+SelectionResult EasyIm::Select(const SelectionInput& input) {
+  const Graph& graph = *input.graph;
+  IMBENCH_CHECK(input.k <= graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+  Rng rng = Rng::ForStream(input.seed, 0);
+  CascadeContext context(n);
+
+  std::vector<uint8_t> is_seed(n, 0);
+  // One score per node — the entire working state of the algorithm.
+  std::vector<double> score(n, 0.0);
+  std::vector<double> prev(n, 0.0);
+
+  // ℓ sweeps of Γ_t(v) = Σ_{u ∈ Out(v)} W(v,u) · (1 + Γ_{t-1}(u)),
+  // skipping seeds (their influence is already banked).
+  auto recompute_scores = [&]() {
+    std::fill(prev.begin(), prev.end(), 0.0);
+    for (uint32_t t = 0; t < options_.path_length; ++t) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (is_seed[v]) {
+          score[v] = 0.0;
+          continue;
+        }
+        double sum = 0;
+        const auto targets = graph.OutTargets(v);
+        const auto weights = graph.OutWeights(v);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          const NodeId u = targets[i];
+          if (is_seed[u]) continue;
+          sum += weights[i] * (1.0 + prev[u]);
+        }
+        score[v] = sum;
+      }
+      prev.swap(score);
+    }
+    score.swap(prev);
+    if (input.counters != nullptr) ++input.counters->scoring_rounds;
+  };
+
+  SelectionResult result;
+  std::vector<NodeId> candidate_set;
+  std::vector<NodeId> with_candidate;
+  double current_spread = 0;
+  while (result.seeds.size() < input.k) {
+    recompute_scores();
+    // Collect the top-c scorers.
+    const uint32_t c = std::max<uint32_t>(1, options_.candidates);
+    candidate_set.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_seed[v]) continue;
+      if (candidate_set.size() < c) {
+        candidate_set.push_back(v);
+        std::push_heap(candidate_set.begin(), candidate_set.end(),
+                       [&](NodeId a, NodeId b) { return score[a] > score[b]; });
+      } else if (score[v] > score[candidate_set.front()]) {
+        std::pop_heap(candidate_set.begin(), candidate_set.end(),
+                      [&](NodeId a, NodeId b) { return score[a] > score[b]; });
+        candidate_set.back() = v;
+        std::push_heap(candidate_set.begin(), candidate_set.end(),
+                       [&](NodeId a, NodeId b) { return score[a] > score[b]; });
+      }
+    }
+    NodeId best = kInvalidNode;
+    if (options_.simulations == 0 || candidate_set.size() == 1) {
+      // Pure score argmax.
+      double best_score = -1;
+      for (const NodeId v : candidate_set) {
+        if (score[v] > best_score) {
+          best_score = score[v];
+          best = v;
+        }
+      }
+    } else {
+      // Validate candidates with r MC simulations each.
+      double best_spread = -1;
+      for (const NodeId v : candidate_set) {
+        with_candidate = result.seeds;
+        with_candidate.push_back(v);
+        CountSpreadEvaluation(input.counters);
+        CountSimulations(input.counters, options_.simulations);
+        const SpreadEstimate est =
+            EstimateSpread(graph, input.diffusion, with_candidate,
+                           options_.simulations, context, rng);
+        if (est.mean > best_spread) {
+          best_spread = est.mean;
+          best = v;
+        }
+      }
+      current_spread = best_spread;
+    }
+    IMBENCH_CHECK(best != kInvalidNode);
+    is_seed[best] = 1;
+    result.seeds.push_back(best);
+  }
+  result.internal_spread_estimate = current_spread;
+  return result;
+}
+
+}  // namespace imbench

@@ -1,0 +1,45 @@
+#include "algorithms/greedy.h"
+
+#include "common/check.h"
+#include "diffusion/spread.h"
+
+namespace imbench {
+
+SelectionResult Greedy::Select(const SelectionInput& input) {
+  const Graph& graph = *input.graph;
+  IMBENCH_CHECK(input.k <= graph.num_nodes());
+  CascadeContext context(graph.num_nodes());
+  Rng rng = Rng::ForStream(input.seed, 0);
+
+  SelectionResult result;
+  std::vector<NodeId> candidate;  // S ∪ {v} scratch
+  double current_spread = 0;
+  while (result.seeds.size() < input.k) {
+    NodeId best = kInvalidNode;
+    double best_gain = -1;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      bool already_seed = false;
+      for (const NodeId s : result.seeds) already_seed |= (s == v);
+      if (already_seed) continue;
+      candidate = result.seeds;
+      candidate.push_back(v);
+      CountSpreadEvaluation(input.counters);
+      CountSimulations(input.counters, options_.simulations);
+      const SpreadEstimate estimate =
+          EstimateSpread(graph, input.diffusion, candidate,
+                         options_.simulations, context, rng);
+      const double gain = estimate.mean - current_spread;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    IMBENCH_CHECK(best != kInvalidNode);
+    result.seeds.push_back(best);
+    current_spread += best_gain;
+  }
+  result.internal_spread_estimate = current_spread;
+  return result;
+}
+
+}  // namespace imbench

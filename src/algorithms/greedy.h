@@ -1,0 +1,34 @@
+// The hill-climbing GREEDY algorithm of Kempe et al. (Alg. 2) — the
+// quality baseline with the (1 - 1/e - ε) guarantee (Theorem 2).
+//
+// Every iteration re-estimates σ(S ∪ {v}) for every node with r MC
+// simulations; this is the non-scalable reference the whole IM literature
+// improves on (Sec. 2.2). Kept in the suite because CELF/CELF++ must match
+// its output, which the tests assert.
+#ifndef IMBENCH_ALGORITHMS_GREEDY_H_
+#define IMBENCH_ALGORITHMS_GREEDY_H_
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+struct GreedyOptions {
+  // r: MC simulations per marginal-gain estimate (external parameter).
+  uint32_t simulations = 1000;
+};
+
+class Greedy : public ImAlgorithm {
+ public:
+  explicit Greedy(const GreedyOptions& options) : options_(options) {}
+
+  std::string name() const override { return "GREEDY"; }
+  bool Supports(DiffusionKind) const override { return true; }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  GreedyOptions options_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_GREEDY_H_

@@ -1,0 +1,70 @@
+// Simple ranking heuristics: Degree, DegreeDiscount (Chen et al., KDD'09)
+// and PageRank. Used both as baselines and as IMRank's initial rankings.
+// IRIE supersedes them in the benchmark proper (Sec. 4), but they remain in
+// the suite so that claim is checkable.
+#ifndef IMBENCH_ALGORITHMS_HEURISTICS_H_
+#define IMBENCH_ALGORITHMS_HEURISTICS_H_
+
+#include <vector>
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+// Top-k by out-degree.
+class DegreeHeuristic : public ImAlgorithm {
+ public:
+  std::string name() const override { return "Degree"; }
+  bool Supports(DiffusionKind) const override { return true; }
+  SelectionResult Select(const SelectionInput& input) override;
+};
+
+// DegreeDiscountIC: degree rank with the single-step discount
+// d_v - 2 t_v - (d_v - t_v) t_v p, where t_v counts already-selected
+// neighbors. `p` should match the IC constant probability.
+struct DegreeDiscountOptions {
+  double p = 0.1;
+};
+
+class DegreeDiscount : public ImAlgorithm {
+ public:
+  explicit DegreeDiscount(const DegreeDiscountOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "DegreeDiscount"; }
+  bool Supports(DiffusionKind kind) const override {
+    return kind == DiffusionKind::kIndependentCascade;
+  }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  DegreeDiscountOptions options_;
+};
+
+// Top-k by PageRank over the *reverse* graph (influence flows along edges,
+// so influential nodes are those that many random walks originate from).
+struct PageRankOptions {
+  double damping = 0.85;
+  uint32_t iterations = 50;
+};
+
+class PageRankHeuristic : public ImAlgorithm {
+ public:
+  explicit PageRankHeuristic(const PageRankOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "PageRank"; }
+  bool Supports(DiffusionKind) const override { return true; }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  PageRankOptions options_;
+};
+
+// Shared helper: a full node ordering by descending score with ties broken
+// by node id (deterministic).
+std::vector<NodeId> RankByScore(const std::vector<double>& score);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_HEURISTICS_H_

@@ -1,0 +1,97 @@
+#include "algorithms/irie.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace imbench {
+
+SelectionResult Irie::Select(const SelectionInput& input) {
+  const Graph& graph = *input.graph;
+  IMBENCH_CHECK(input.k <= graph.num_nodes());
+  const NodeId n = graph.num_nodes();
+
+  std::vector<double> rank(n, 1.0);
+  std::vector<double> next(n, 1.0);
+  std::vector<double> ap(n, 0.0);  // AP(u, S): prob. u already activated
+  std::vector<uint8_t> is_seed(n, 0);
+
+  // Bounded-hop AP propagation from a newly selected seed: frontier
+  // probabilities combine as independent activations.
+  std::vector<NodeId> frontier, next_frontier;
+  std::vector<double> reach_prob(n, 0.0);
+  std::vector<uint32_t> touched_stamp(n, 0);
+  uint32_t epoch = 0;
+
+  auto propagate_ap = [&](NodeId seed) {
+    ++epoch;
+    frontier.assign(1, seed);
+    reach_prob[seed] = 1.0;
+    touched_stamp[seed] = epoch;
+    ap[seed] = 1.0;
+    for (uint32_t hop = 0; hop < options_.ap_hops; ++hop) {
+      next_frontier.clear();
+      for (const NodeId u : frontier) {
+        const double pu = reach_prob[u];
+        const auto targets = graph.OutTargets(u);
+        const auto weights = graph.OutWeights(u);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          const NodeId v = targets[i];
+          if (is_seed[v]) continue;
+          const double via = pu * weights[i];
+          if (touched_stamp[v] != epoch) {
+            touched_stamp[v] = epoch;
+            reach_prob[v] = 0.0;
+            next_frontier.push_back(v);
+          }
+          // Independent combination of activation paths.
+          reach_prob[v] = 1.0 - (1.0 - reach_prob[v]) * (1.0 - via);
+        }
+      }
+      for (const NodeId v : next_frontier) {
+        ap[v] = 1.0 - (1.0 - ap[v]) * (1.0 - reach_prob[v]);
+      }
+      frontier.swap(next_frontier);
+    }
+  };
+
+  SelectionResult result;
+  while (result.seeds.size() < input.k) {
+    // Rank iteration under the current AP discounts.
+    std::fill(rank.begin(), rank.end(), 1.0);
+    for (uint32_t iter = 0; iter < options_.iterations; ++iter) {
+      for (NodeId u = 0; u < n; ++u) {
+        if (is_seed[u]) {
+          next[u] = 0.0;
+          continue;
+        }
+        double sum = 0;
+        const auto targets = graph.OutTargets(u);
+        const auto weights = graph.OutWeights(u);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          sum += weights[i] * rank[targets[i]];
+        }
+        next[u] = (1.0 - ap[u]) * (1.0 + options_.alpha * sum);
+      }
+      rank.swap(next);
+    }
+    CountSpreadEvaluation(input.counters);
+
+    NodeId best = kInvalidNode;
+    double best_rank = -1;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!is_seed[u] && rank[u] > best_rank) {
+        best_rank = rank[u];
+        best = u;
+      }
+    }
+    IMBENCH_CHECK(best != kInvalidNode);
+    is_seed[best] = 1;
+    result.seeds.push_back(best);
+    propagate_ap(best);
+  }
+  return result;
+}
+
+}  // namespace imbench

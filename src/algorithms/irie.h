@@ -1,0 +1,40 @@
+// IRIE — Influence Ranking + Influence Estimation (Jung, Heo, Chen,
+// ICDM'12). IC-family models only (Table 5).
+//
+// Ranking: a PageRank-like linear system
+//     r(u) = (1 - AP(u, S)) · (1 + α · Σ_{v ∈ Out(u)} W(u,v) · r(v))
+// iterated a fixed number of rounds. AP(u, S) estimates the probability
+// that the current seed set already activates u (influence estimation), so
+// already-covered regions stop contributing rank. One seed is selected per
+// recomputation — a *global* score-estimation method, which is what makes
+// it fast but quality-fragile under constant-probability IC (Sec. 5.2).
+#ifndef IMBENCH_ALGORITHMS_IRIE_H_
+#define IMBENCH_ALGORITHMS_IRIE_H_
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+struct IrieOptions {
+  double alpha = 0.7;       // damping (authors' default)
+  uint32_t iterations = 5;  // rank-iteration sweeps per seed (internal)
+  uint32_t ap_hops = 2;     // AP propagation depth from each new seed
+};
+
+class Irie : public ImAlgorithm {
+ public:
+  explicit Irie(const IrieOptions& options) : options_(options) {}
+
+  std::string name() const override { return "IRIE"; }
+  bool Supports(DiffusionKind kind) const override {
+    return kind == DiffusionKind::kIndependentCascade;
+  }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  IrieOptions options_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_IRIE_H_

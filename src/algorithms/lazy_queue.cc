@@ -1,0 +1,56 @@
+#include "algorithms/lazy_queue.h"
+
+#include <algorithm>
+
+namespace imbench {
+namespace {
+
+struct Entry {
+  double gain;
+  NodeId node;
+  uint32_t round;  // seed-set size at last evaluation
+
+  // Max-heap by gain; ties broken by node id for determinism.
+  friend bool operator<(const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> CelfSelect(
+    NodeId num_nodes, uint32_t k,
+    const std::function<double(NodeId)>& marginal_gain,
+    const std::function<void(NodeId)>& commit, Counters* counters) {
+  std::vector<Entry> heap;
+  heap.reserve(num_nodes);
+  // Round 0: evaluate every node once (the unavoidable first pass).
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    CountSpreadEvaluation(counters);
+    heap.push_back(Entry{marginal_gain(v), v, 0});
+  }
+  std::make_heap(heap.begin(), heap.end());
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  while (seeds.size() < k && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    Entry top = heap.back();
+    heap.pop_back();
+    if (top.round == seeds.size()) {
+      seeds.push_back(top.node);
+      commit(top.node);
+      continue;
+    }
+    // Stale: refresh against the current seed set and reinsert.
+    CountSpreadEvaluation(counters);
+    top.gain = marginal_gain(top.node);
+    top.round = static_cast<uint32_t>(seeds.size());
+    heap.push_back(top);
+    std::push_heap(heap.begin(), heap.end());
+  }
+  return seeds;
+}
+
+}  // namespace imbench

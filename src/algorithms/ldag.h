@@ -1,0 +1,44 @@
+// LDAG (Chen, Yuan, Zhang, ICDM'10): local-DAG influence maximization
+// under the Linear Threshold model.
+//
+// Computing exact LT influence is #P-hard on general graphs but *linear*
+// on DAGs. LDAG therefore builds, for every node v, a local DAG containing
+// the nodes whose maximum-probability path to v carries influence at least
+// θ, and treats v's activation as driven only by that DAG. Within a DAG:
+//   ap(u): probability u is activated by the current seed set (one forward
+//          topological pass), and
+//   α(u):  ∂ap(v)/∂ap(u) (one backward pass, blocked at seeds),
+// so node u's marginal contribution to v is α(u)·(1 − ap(u)). Summing over
+// every DAG containing u gives its incremental influence, updated
+// incrementally when a seed is placed (only the DAGs containing the new
+// seed are re-solved).
+#ifndef IMBENCH_ALGORITHMS_LDAG_H_
+#define IMBENCH_ALGORITHMS_LDAG_H_
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+struct LdagOptions {
+  // θ: influence threshold for DAG membership. The authors recommend
+  // 1/320; LDAG has no external parameter in the study (Sec. 5.1.1).
+  double theta = 1.0 / 320.0;
+};
+
+class Ldag : public ImAlgorithm {
+ public:
+  explicit Ldag(const LdagOptions& options) : options_(options) {}
+
+  std::string name() const override { return "LDAG"; }
+  bool Supports(DiffusionKind kind) const override {
+    return kind == DiffusionKind::kLinearThreshold;
+  }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  LdagOptions options_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_LDAG_H_

@@ -1,0 +1,41 @@
+#include "algorithms/ris.h"
+
+#include "common/check.h"
+#include "diffusion/rr_sets.h"
+
+namespace imbench {
+
+SelectionResult Ris::Select(const SelectionInput& input) {
+  const Graph& graph = *input.graph;
+  IMBENCH_CHECK(input.k >= 1 && input.k <= graph.num_nodes());
+
+  Rng rng = Rng::ForStream(input.seed, 0);
+  RrSampler sampler(graph, input.diffusion);
+  RrCollection sets(graph.num_nodes());
+  std::vector<NodeId> scratch;
+
+  // Sample until the examined-edge budget runs out (the paper's R steps).
+  const double budget =
+      options_.budget_multiplier *
+      static_cast<double>(graph.num_edges() + graph.num_nodes());
+  double examined = 0;
+  bool over_budget = false;
+  while (examined < budget && !over_budget) {
+    // +1: even an isolated root costs a step, so the loop terminates on
+    // edgeless graphs too.
+    examined += static_cast<double>(sampler.Generate(rng, scratch)) + 1.0;
+    if (input.counters != nullptr) ++input.counters->rr_sets;
+    sets.Add(scratch);
+    if (sets.TotalEntries() > options_.max_rr_entries) over_budget = true;
+  }
+
+  SelectionResult result;
+  double covered_fraction = 0;
+  result.seeds = sets.GreedyMaxCover(input.k, &covered_fraction);
+  result.internal_spread_estimate =
+      covered_fraction * static_cast<double>(graph.num_nodes());
+  result.over_budget = over_budget;
+  return result;
+}
+
+}  // namespace imbench

@@ -1,0 +1,38 @@
+// RIS — Reverse Influence Sampling (Borgs, Brautbar, Chayes, Lucier,
+// SODA'14): the progenitor of the RR-set family.
+//
+// Original RIS keeps sampling RR sets until a global budget of examined
+// edges is exhausted, then greedily covers. TIM+ replaced the budget with
+// a principled sample-size bound and IMM with a martingale stopping rule;
+// the study excludes RIS because TIM+/IMM dominate it (Sec. 4). It is
+// kept here as a checkable baseline (in_benchmark = false).
+#ifndef IMBENCH_ALGORITHMS_RIS_H_
+#define IMBENCH_ALGORITHMS_RIS_H_
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+struct RisOptions {
+  // β: edge-examination budget as a multiple of (m + n) — RIS's single
+  // knob; larger β means more RR sets and better quality.
+  double budget_multiplier = 32.0;
+  // Hard cap on stored RR-set entries (memory safety valve).
+  uint64_t max_rr_entries = 60'000'000;
+};
+
+class Ris : public ImAlgorithm {
+ public:
+  explicit Ris(const RisOptions& options) : options_(options) {}
+
+  std::string name() const override { return "RIS"; }
+  bool Supports(DiffusionKind) const override { return true; }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  RisOptions options_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_RIS_H_

@@ -1,0 +1,47 @@
+// SIMPATH (Goyal, Lu, Lakshmanan, ICDM'11): simple-path enumeration under
+// the Linear Threshold model.
+//
+// Under LT, σ({u}) equals 1 plus the sum over all simple paths starting at
+// u of the path's weight product, so spread can be computed by enumerating
+// paths and pruning once the product drops below η (longer paths carry
+// negligible influence). SIMPATH combines:
+//   * SimpathSpread: backtracking enumeration with the η cutoff;
+//   * the look-ahead optimization: the top-ℓ CELF candidates are evaluated
+//     in one enumeration batch over the current seed set — paths through a
+//     candidate c are subtracted on the fly, yielding σ^{V−c}(S) for every
+//     candidate simultaneously;
+//   * the marginal-gain identity σ(S+c) = σ^{V−c}(S) + σ^{V−S}(c).
+// The vertex-cover trick that halves the first iteration is an
+// output-neutral optimization and is omitted (DESIGN.md).
+#ifndef IMBENCH_ALGORITHMS_SIMPATH_H_
+#define IMBENCH_ALGORITHMS_SIMPATH_H_
+
+#include "algorithms/algorithm.h"
+
+namespace imbench {
+
+struct SimpathOptions {
+  // η: path-probability pruning threshold (authors' default 1e-3).
+  double eta = 1e-3;
+  // ℓ: look-ahead batch size (authors' default 4). SIMPATH has no external
+  // parameter in the study (Sec. 5.1.1); both of these are internal.
+  uint32_t lookahead = 4;
+};
+
+class Simpath : public ImAlgorithm {
+ public:
+  explicit Simpath(const SimpathOptions& options) : options_(options) {}
+
+  std::string name() const override { return "SIMPATH"; }
+  bool Supports(DiffusionKind kind) const override {
+    return kind == DiffusionKind::kLinearThreshold;
+  }
+  SelectionResult Select(const SelectionInput& input) override;
+
+ private:
+  SimpathOptions options_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_ALGORITHMS_SIMPATH_H_

@@ -1,0 +1,20 @@
+#include "algorithms/snapshots.h"
+
+namespace imbench {
+
+Snapshot SampleSnapshot(const Graph& graph, Rng& rng) {
+  Snapshot snap;
+  snap.offsets.reserve(graph.num_nodes() + 1);
+  snap.offsets.push_back(0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto targets = graph.OutTargets(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (rng.NextDouble() < weights[i]) snap.targets.push_back(targets[i]);
+    }
+    snap.offsets.push_back(static_cast<uint32_t>(snap.targets.size()));
+  }
+  return snap;
+}
+
+}  // namespace imbench

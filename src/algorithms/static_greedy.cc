@@ -1,0 +1,91 @@
+#include "algorithms/static_greedy.h"
+
+#include <vector>
+
+#include "algorithms/lazy_queue.h"
+#include "algorithms/snapshots.h"
+#include "common/check.h"
+
+namespace imbench {
+
+SelectionResult StaticGreedy::Select(const SelectionInput& input) {
+  const Graph& graph = *input.graph;
+  IMBENCH_CHECK(input.k <= graph.num_nodes());
+  const uint32_t R = options_.snapshots;
+  Rng rng = Rng::ForStream(input.seed, 0);
+
+  std::vector<Snapshot> snapshots;
+  snapshots.reserve(R);
+  for (uint32_t i = 0; i < R; ++i) {
+    snapshots.push_back(SampleSnapshot(graph, rng));
+    if (input.counters != nullptr) ++input.counters->snapshots;
+  }
+
+  // covered[i][v]: v is already reached by the seed set in snapshot i.
+  std::vector<std::vector<uint8_t>> covered(
+      R, std::vector<uint8_t>(graph.num_nodes(), 0));
+  // Epoch-stamped BFS scratch shared across snapshots.
+  std::vector<uint32_t> visited(graph.num_nodes(), 0);
+  uint32_t epoch = 0;
+  std::vector<NodeId> queue;
+
+  // Number of uncovered nodes reachable from v in snapshot i.
+  auto reach_uncovered = [&](uint32_t i, NodeId v) -> uint32_t {
+    const Snapshot& snap = snapshots[i];
+    const auto& cov = covered[i];
+    if (cov[v]) return 0;
+    ++epoch;
+    queue.clear();
+    queue.push_back(v);
+    visited[v] = epoch;
+    uint32_t count = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      ++count;
+      for (uint32_t e = snap.offsets[u]; e < snap.offsets[u + 1]; ++e) {
+        const NodeId w = snap.targets[e];
+        if (visited[w] == epoch || cov[w]) continue;
+        visited[w] = epoch;
+        queue.push_back(w);
+      }
+    }
+    return count;
+  };
+
+  auto marginal_gain = [&](NodeId v) {
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < R; ++i) total += reach_uncovered(i, v);
+    return static_cast<double>(total) / static_cast<double>(R);
+  };
+  double selected_spread = 0;
+  auto commit = [&](NodeId v) {
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < R; ++i) {
+      const Snapshot& snap = snapshots[i];
+      auto& cov = covered[i];
+      if (cov[v]) continue;
+      queue.clear();
+      queue.push_back(v);
+      cov[v] = 1;
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const NodeId u = queue[head];
+        ++total;
+        for (uint32_t e = snap.offsets[u]; e < snap.offsets[u + 1]; ++e) {
+          const NodeId w = snap.targets[e];
+          if (cov[w]) continue;
+          cov[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    selected_spread += static_cast<double>(total) / static_cast<double>(R);
+  };
+
+  SelectionResult result;
+  result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
+                            input.counters);
+  result.internal_spread_estimate = selected_spread;
+  return result;
+}
+
+}  // namespace imbench

@@ -1,0 +1,35 @@
+// Lightweight invariant-checking macros.
+//
+// The library does not use exceptions (per the project style); internal
+// invariant violations abort with a message, and recoverable conditions are
+// reported through return values (std::optional / bool).
+#ifndef IMBENCH_COMMON_CHECK_H_
+#define IMBENCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a diagnostic when `cond` does not hold. Active in
+// all build types: benchmark correctness depends on these invariants.
+#define IMBENCH_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Like IMBENCH_CHECK but with a printf-style explanation.
+#define IMBENCH_CHECK_MSG(cond, ...)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // IMBENCH_COMMON_CHECK_H_

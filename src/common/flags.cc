@@ -1,0 +1,184 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace imbench {
+
+FlagSet::FlagSet(std::string program_doc)
+    : program_doc_(std::move(program_doc)) {
+  AddBool("help", false, "print this help and exit");
+}
+
+int64_t* FlagSet::AddInt(const std::string& name, int64_t default_value,
+                         const std::string& doc) {
+  auto f = std::make_unique<Flag>();
+  f->name = name;
+  f->doc = doc;
+  f->type = Type::kInt;
+  f->int_value = default_value;
+  flags_.push_back(std::move(f));
+  return &flags_.back()->int_value;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double default_value,
+                           const std::string& doc) {
+  auto f = std::make_unique<Flag>();
+  f->name = name;
+  f->doc = doc;
+  f->type = Type::kDouble;
+  f->double_value = default_value;
+  flags_.push_back(std::move(f));
+  return &flags_.back()->double_value;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool default_value,
+                       const std::string& doc) {
+  auto f = std::make_unique<Flag>();
+  f->name = name;
+  f->doc = doc;
+  f->type = Type::kBool;
+  f->bool_value = default_value;
+  flags_.push_back(std::move(f));
+  return &flags_.back()->bool_value;
+}
+
+std::string* FlagSet::AddString(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& doc) {
+  auto f = std::make_unique<Flag>();
+  f->name = name;
+  f->doc = doc;
+  f->type = Type::kString;
+  f->string_value = default_value;
+  flags_.push_back(std::move(f));
+  return &flags_.back()->string_value;
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (const auto& f : flags_) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetFromText(Flag* flag, const std::string& text) {
+  char* end = nullptr;
+  switch (flag->type) {
+    case Type::kInt: {
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') return false;
+      flag->int_value = v;
+      return true;
+    }
+    case Type::kDouble: {
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') return false;
+      flag->double_value = v;
+      return true;
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1") {
+        flag->bool_value = true;
+        return true;
+      }
+      if (text == "false" || text == "0") {
+        flag->bool_value = false;
+        return true;
+      }
+      return false;
+    }
+    case Type::kString:
+      flag->string_value = text;
+      return true;
+  }
+  return false;
+}
+
+void FlagSet::PrintUsage(const char* argv0) const {
+  std::fprintf(stderr, "Usage: %s [flags]\n", argv0);
+  if (!program_doc_.empty()) std::fprintf(stderr, "%s\n", program_doc_.c_str());
+  std::fprintf(stderr, "Flags:\n");
+  for (const auto& f : flags_) {
+    const char* type_name = "";
+    char defaults[256];
+    switch (f->type) {
+      case Type::kInt:
+        type_name = "int";
+        std::snprintf(defaults, sizeof(defaults), "%lld",
+                      static_cast<long long>(f->int_value));
+        break;
+      case Type::kDouble:
+        type_name = "double";
+        std::snprintf(defaults, sizeof(defaults), "%g", f->double_value);
+        break;
+      case Type::kBool:
+        type_name = "bool";
+        std::snprintf(defaults, sizeof(defaults), "%s",
+                      f->bool_value ? "true" : "false");
+        break;
+      case Type::kString:
+        type_name = "string";
+        std::snprintf(defaults, sizeof(defaults), "\"%s\"",
+                      f->string_value.c_str());
+        break;
+    }
+    std::fprintf(stderr, "  --%s (%s, default %s)\n      %s\n",
+                 f->name.c_str(), type_name, defaults, f->doc.c_str());
+  }
+}
+
+void FlagSet::Fail(const char* argv0, const std::string& message) const {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  PrintUsage(argv0);
+  std::exit(2);
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Flag* flag = Find(arg);
+    // `--no-foo` negates a boolean flag.
+    if (flag == nullptr && arg.rfind("no-", 0) == 0) {
+      Flag* negated = Find(arg.substr(3));
+      if (negated != nullptr && negated->type == Type::kBool && !has_value) {
+        negated->bool_value = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) Fail(argv[0], "unknown flag --" + arg);
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        flag->bool_value = true;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+        has_value = true;
+      } else {
+        Fail(argv[0], "flag --" + arg + " expects a value");
+      }
+    }
+    if (has_value && !SetFromText(flag, value)) {
+      Fail(argv[0], "bad value '" + value + "' for flag --" + arg);
+    }
+    if (arg == "help" && flag->bool_value) {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    }
+  }
+}
+
+}  // namespace imbench

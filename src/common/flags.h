@@ -1,0 +1,70 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` /
+// `--no-name` forms. Unknown flags abort with a usage message listing every
+// registered flag, so each harness is self-documenting via `--help`.
+#ifndef IMBENCH_COMMON_FLAGS_H_
+#define IMBENCH_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace imbench {
+
+// A set of typed flags parsed from argv. Register flags, then Parse().
+class FlagSet {
+ public:
+  // `program_doc` is printed at the top of --help output.
+  explicit FlagSet(std::string program_doc = "");
+
+  // Registration. The returned pointer stays valid for the FlagSet's
+  // lifetime and holds the default until Parse() overwrites it.
+  int64_t* AddInt(const std::string& name, int64_t default_value,
+                  const std::string& doc);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& doc);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& doc);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& doc);
+
+  // Parses argv. On `--help`, prints usage and exits(0). On an unknown flag
+  // or malformed value, prints usage to stderr and exits(2). Positional
+  // (non-flag) arguments are collected into positional().
+  void Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+
+  struct Flag {
+    std::string name;
+    std::string doc;
+    Type type = Type::kBool;
+    // Owned storage; exactly one is used depending on `type`.
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Flag* Find(const std::string& name);
+  void PrintUsage(const char* argv0) const;
+  [[noreturn]] void Fail(const char* argv0, const std::string& message) const;
+  // Returns false if `text` is not a valid value for the flag's type.
+  static bool SetFromText(Flag* flag, const std::string& text);
+
+  std::string program_doc_;
+  // Heap-allocated entries so pointers returned by AddX() stay valid as the
+  // vector grows.
+  std::vector<std::unique_ptr<Flag>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_COMMON_FLAGS_H_

@@ -1,0 +1,4 @@
+#include "common/rng.h"
+
+// Header-only implementation; this translation unit exists so the build
+// fails loudly if the header stops being self-contained.

@@ -1,0 +1,103 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+namespace imbench {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TextTable::Secs(double seconds) {
+  char buf[64];
+  if (seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  } else if (seconds < 10) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  }
+  return buf;
+}
+
+std::string TextTable::MegaBytes(uint64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(bytes) / 1e6);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string q = "\"";
+    for (char ch : cell) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TextTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace imbench

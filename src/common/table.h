@@ -1,0 +1,46 @@
+// Plain-text table / CSV emission for the benchmark harnesses.
+//
+// Each figure/table binary prints results as aligned text tables (the same
+// rows/series the paper reports) and can optionally mirror them to CSV for
+// plotting.
+#ifndef IMBENCH_COMMON_TABLE_H_
+#define IMBENCH_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imbench {
+
+// Collects rows of string cells and renders them column-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; it may be shorter than the header (trailing blanks).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+  // Seconds with magnitude-adaptive precision (e.g. "0.004", "12.3").
+  static std::string Secs(double seconds);
+  // Bytes rendered as MB with two decimals, matching the paper's unit.
+  static std::string MegaBytes(uint64_t bytes);
+
+  // Renders the aligned table (with a separator under the header).
+  std::string ToString() const;
+  // Renders as comma-separated values (header + rows), quoting as needed.
+  std::string ToCsv() const;
+
+  // Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_COMMON_TABLE_H_

@@ -1,0 +1,30 @@
+// Monotonic wall-clock timing for the benchmarking harness.
+#ifndef IMBENCH_COMMON_TIMER_H_
+#define IMBENCH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace imbench {
+
+// Measures elapsed wall time from construction (or the last Restart()).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_COMMON_TIMER_H_

@@ -1,0 +1,75 @@
+// Single-cascade simulation under the IC and LT models (Alg. 1, Defs. 4-5).
+//
+// A CascadeContext owns reusable scratch buffers with epoch-stamped state,
+// so running many Monte-Carlo simulations never pays an O(n) clear: a node
+// is "touched this simulation" iff its stamp equals the current epoch.
+#ifndef IMBENCH_DIFFUSION_CASCADE_H_
+#define IMBENCH_DIFFUSION_CASCADE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+// The information-diffusion process I (Sec. 2).
+enum class DiffusionKind {
+  kIndependentCascade,
+  kLinearThreshold,
+};
+
+const char* DiffusionKindName(DiffusionKind kind);
+
+// Reusable simulation scratch. One context per thread.
+class CascadeContext {
+ public:
+  explicit CascadeContext(NodeId num_nodes);
+
+  // Runs one cascade from `seeds` and returns Γ(S), the number of active
+  // nodes including the seeds (Definition 6). Nodes in `blocked` epochs are
+  // never counted nor spread (used by greedy marginal-gain evaluation).
+  NodeId Simulate(const Graph& graph, DiffusionKind kind,
+                  std::span<const NodeId> seeds, Rng& rng);
+
+  // The nodes activated by the most recent Simulate() call, seeds first.
+  std::span<const NodeId> active() const { return active_; }
+
+  // Continues the cascade of the most recent Simulate() call from
+  // additional seeds, returning the *total* active count afterwards. Valid
+  // for both models: under the live-edge view, activating extra seeds
+  // later yields the same distribution as seeding them up front, and the
+  // LT threshold/accumulator state is preserved within the epoch. Used by
+  // CELF++ to estimate σ(S∪{v}) and σ(S∪{v}∪{cur_best}) from one batch of
+  // simulations.
+  NodeId Continue(const Graph& graph, DiffusionKind kind,
+                  std::span<const NodeId> extra_seeds, Rng& rng);
+
+  // Marks `node` as permanently inactive for subsequent Simulate() calls
+  // until ClearBlocked(); blocked nodes cannot be activated or activate
+  // others, and do not count toward the returned spread.
+  void Block(NodeId node);
+  void ClearBlocked();
+
+ private:
+  bool IsBlocked(NodeId v) const { return blocked_[v]; }
+
+  // Enqueues not-yet-active seeds and drains the BFS queue from
+  // `resume_head`, returning the total active count.
+  NodeId Run(const Graph& graph, DiffusionKind kind,
+             std::span<const NodeId> seeds, size_t resume_head, Rng& rng);
+
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> active_stamp_;   // node is active this epoch
+  std::vector<uint32_t> touched_stamp_;  // LT: threshold/acc are valid
+  std::vector<double> threshold_;        // LT: θ_v for this epoch
+  std::vector<double> accumulated_;      // LT: sum of active in-weights
+  std::vector<NodeId> active_;           // BFS queue == active set
+  std::vector<uint8_t> blocked_;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_DIFFUSION_CASCADE_H_

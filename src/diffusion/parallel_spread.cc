@@ -1,0 +1,56 @@
+#include "diffusion/parallel_spread.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "diffusion/cascade.h"
+
+namespace imbench {
+
+SpreadEstimate EstimateSpreadParallel(const Graph& graph, DiffusionKind kind,
+                                      std::span<const NodeId> seeds,
+                                      uint32_t simulations, uint64_t seed,
+                                      uint32_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max(1u, simulations));
+
+  // Each worker owns its samples slot; simulation i is pinned to stream i,
+  // so the multiset of samples is independent of the thread count.
+  std::vector<NodeId> samples(simulations, 0);
+  auto worker = [&](uint32_t worker_index) {
+    CascadeContext context(graph.num_nodes());
+    for (uint32_t i = worker_index; i < simulations; i += threads) {
+      Rng rng = Rng::ForStream(seed, i);
+      samples[i] = context.Simulate(graph, kind, seeds, rng);
+    }
+  };
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+
+  SpreadEstimate estimate;
+  estimate.simulations = simulations;
+  if (simulations == 0) return estimate;
+  double sum = 0;
+  for (const NodeId s : samples) sum += s;
+  estimate.mean = sum / simulations;
+  if (simulations > 1) {
+    double sq = 0;
+    for (const NodeId s : samples) {
+      const double d = s - estimate.mean;
+      sq += d * d;
+    }
+    estimate.stddev = std::sqrt(sq / (simulations - 1));
+  }
+  return estimate;
+}
+
+}  // namespace imbench

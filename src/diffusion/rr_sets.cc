@@ -1,0 +1,174 @@
+#include "diffusion/rr_sets.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace imbench {
+
+RrSampler::RrSampler(const Graph& graph, DiffusionKind kind)
+    : graph_(graph), kind_(kind), visited_stamp_(graph.num_nodes(), 0) {}
+
+uint64_t RrSampler::Generate(Rng& rng, std::vector<NodeId>& out) {
+  return GenerateFromRoot(rng.NextU32(graph_.num_nodes()), rng, out);
+}
+
+uint64_t RrSampler::GenerateFromRoot(NodeId root, Rng& rng,
+                                     std::vector<NodeId>& out) {
+  out.clear();
+  ++epoch_;
+  switch (kind_) {
+    case DiffusionKind::kIndependentCascade:
+      return GenerateIc(root, rng, out);
+    case DiffusionKind::kLinearThreshold:
+      return GenerateLt(root, rng, out);
+  }
+  return 0;
+}
+
+uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng,
+                               std::vector<NodeId>& out) {
+  uint64_t edges_examined = 0;
+  visited_stamp_[root] = epoch_;
+  out.push_back(root);
+  for (size_t head = 0; head < out.size(); ++head) {
+    const NodeId v = out[head];
+    const auto sources = graph_.InSources(v);
+    const auto weights = graph_.InWeights(v);
+    edges_examined += sources.size();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const NodeId u = sources[i];
+      if (visited_stamp_[u] == epoch_) continue;
+      if (rng.NextDouble() < weights[i]) {
+        visited_stamp_[u] = epoch_;
+        out.push_back(u);
+      }
+    }
+  }
+  return edges_examined;
+}
+
+uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng,
+                               std::vector<NodeId>& out) {
+  // Under LT's live-edge view each node activates via at most one
+  // in-neighbor, so the RR set is a simple path walked backwards until the
+  // residual no-edge event fires or the walk bites its own tail.
+  uint64_t edges_examined = 0;
+  visited_stamp_[root] = epoch_;
+  out.push_back(root);
+  NodeId v = root;
+  while (true) {
+    const auto sources = graph_.InSources(v);
+    const auto weights = graph_.InWeights(v);
+    if (sources.empty()) break;
+    edges_examined += sources.size();
+    double r = rng.NextDouble();
+    NodeId next = kInvalidNode;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (r < weights[i]) {
+        next = sources[i];
+        break;
+      }
+      r -= weights[i];
+    }
+    if (next == kInvalidNode) break;              // residual: no live in-edge
+    if (visited_stamp_[next] == epoch_) break;    // cycle
+    visited_stamp_[next] = epoch_;
+    out.push_back(next);
+    v = next;
+  }
+  return edges_examined;
+}
+
+RrCollection::RrCollection(NodeId num_nodes)
+    : num_nodes_(num_nodes), sets_containing_(num_nodes) {}
+
+void RrCollection::Add(std::vector<NodeId> set) {
+  const uint32_t id = static_cast<uint32_t>(sets_.size());
+  for (const NodeId v : set) {
+    IMBENCH_CHECK(v < num_nodes_);
+    sets_containing_[v].push_back(id);
+  }
+  total_entries_ += set.size();
+  sets_.push_back(std::move(set));
+}
+
+uint64_t RrCollection::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& s : sets_) bytes += s.capacity() * sizeof(NodeId);
+  for (const auto& s : sets_containing_) bytes += s.capacity() * sizeof(uint32_t);
+  bytes += sets_.capacity() * sizeof(sets_[0]);
+  bytes += sets_containing_.capacity() * sizeof(sets_containing_[0]);
+  return bytes;
+}
+
+std::vector<NodeId> RrCollection::GreedyMaxCover(
+    uint32_t k, double* covered_fraction) const {
+  // Counting greedy with lazy decrement: degree[v] = #uncovered sets that
+  // contain v. Buckets by degree would be O(m); a lazy max-heap suffices at
+  // the corpus sizes the benchmark generates.
+  std::vector<uint32_t> degree(num_nodes_, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    degree[v] = static_cast<uint32_t>(sets_containing_[v].size());
+  }
+  std::vector<bool> covered(sets_.size(), false);
+  std::vector<bool> chosen(num_nodes_, false);
+
+  // Lazy priority queue of (stale degree, node).
+  std::vector<std::pair<uint32_t, NodeId>> heap;
+  heap.reserve(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (degree[v] > 0) heap.emplace_back(degree[v], v);
+  }
+  std::make_heap(heap.begin(), heap.end());
+
+  std::vector<NodeId> seeds;
+  uint64_t covered_count = 0;
+  while (seeds.size() < k) {
+    NodeId best = kInvalidNode;
+    while (!heap.empty()) {
+      auto [stale_degree, v] = heap.front();
+      std::pop_heap(heap.begin(), heap.end());
+      heap.pop_back();
+      if (chosen[v]) continue;
+      if (stale_degree != degree[v]) {
+        // Entry went stale; reinsert with the true degree.
+        if (degree[v] > 0) {
+          heap.emplace_back(degree[v], v);
+          std::push_heap(heap.begin(), heap.end());
+        }
+        continue;
+      }
+      best = v;
+      break;
+    }
+    if (best == kInvalidNode) {
+      // All sets covered: fill remaining slots with unchosen nodes so the
+      // result always has k seeds (matches the reference implementations).
+      for (NodeId v = 0; v < num_nodes_ && seeds.size() < k; ++v) {
+        if (!chosen[v]) {
+          chosen[v] = true;
+          seeds.push_back(v);
+        }
+      }
+      break;
+    }
+    chosen[best] = true;
+    seeds.push_back(best);
+    for (const uint32_t set_id : sets_containing_[best]) {
+      if (covered[set_id]) continue;
+      covered[set_id] = true;
+      ++covered_count;
+      for (const NodeId member : sets_[set_id]) --degree[member];
+    }
+  }
+  if (covered_fraction != nullptr) {
+    *covered_fraction =
+        sets_.empty() ? 0.0
+                      : static_cast<double>(covered_count) /
+                            static_cast<double>(sets_.size());
+  }
+  return seeds;
+}
+
+}  // namespace imbench

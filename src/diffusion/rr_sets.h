@@ -1,0 +1,81 @@
+// Reverse-reachable (RR) set machinery shared by TIM+ and IMM (Sec. 4.2).
+//
+// An RR set for root v is the set of nodes that reach v in a random
+// live-edge instantiation of the graph:
+//   * IC: each in-edge (u, v) is live independently with probability
+//     W(u, v) — reverse BFS with per-edge coin flips.
+//   * LT: each node keeps at most one live in-edge, chosen with probability
+//     proportional to its weight (no in-edge with the residual probability
+//     1 - Σ W) — a reverse random walk without revisits.
+//
+// Keeping the sampler and max-cover separate from the two algorithms makes
+// their benchmark comparison isolate exactly the parameter-estimation
+// machinery (myths M3/M4).
+#ifndef IMBENCH_DIFFUSION_RR_SETS_H_
+#define IMBENCH_DIFFUSION_RR_SETS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+// Generates RR sets one at a time with reusable scratch.
+class RrSampler {
+ public:
+  RrSampler(const Graph& graph, DiffusionKind kind);
+
+  // Samples an RR set rooted at a uniform random node; appends its members
+  // (root included) to `out` (cleared first). Returns the number of edges
+  // examined (the width counter used by TIM+'s KPT estimation).
+  uint64_t Generate(Rng& rng, std::vector<NodeId>& out);
+
+  // Same, with a caller-chosen root.
+  uint64_t GenerateFromRoot(NodeId root, Rng& rng, std::vector<NodeId>& out);
+
+ private:
+  uint64_t GenerateIc(NodeId root, Rng& rng, std::vector<NodeId>& out);
+  uint64_t GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out);
+
+  const Graph& graph_;
+  DiffusionKind kind_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> visited_stamp_;
+};
+
+// A corpus of RR sets with the node->sets inverted index needed for greedy
+// maximum coverage (the seed-selection step of TIM+/IMM).
+class RrCollection {
+ public:
+  explicit RrCollection(NodeId num_nodes);
+
+  // Moves one sampled set into the collection.
+  void Add(std::vector<NodeId> set);
+
+  size_t size() const { return sets_.size(); }
+  uint64_t TotalEntries() const { return total_entries_; }
+  std::span<const NodeId> Set(size_t i) const { return sets_[i]; }
+
+  // Approximate heap bytes held by the corpus (for the memory benchmarks).
+  uint64_t MemoryBytes() const;
+
+  // Greedy max cover: picks k nodes maximizing the number of covered sets.
+  // Returns the seeds and writes the covered fraction (coverage / size())
+  // to `covered_fraction` if non-null. The collection is left unmodified.
+  std::vector<NodeId> GreedyMaxCover(uint32_t k,
+                                     double* covered_fraction = nullptr) const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::vector<NodeId>> sets_;
+  std::vector<std::vector<uint32_t>> sets_containing_;  // node -> set ids
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_DIFFUSION_RR_SETS_H_

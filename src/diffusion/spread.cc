@@ -1,0 +1,58 @@
+#include "diffusion/spread.h"
+
+#include <cmath>
+
+namespace imbench {
+namespace {
+
+SpreadEstimate Aggregate(const std::vector<NodeId>& samples) {
+  SpreadEstimate estimate;
+  estimate.simulations = static_cast<uint32_t>(samples.size());
+  if (samples.empty()) return estimate;
+  double sum = 0;
+  for (const NodeId s : samples) sum += s;
+  estimate.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0;
+    for (const NodeId s : samples) {
+      const double d = s - estimate.mean;
+      sq += d * d;
+    }
+    estimate.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return estimate;
+}
+
+}  // namespace
+
+double SpreadEstimate::StdError() const {
+  return simulations > 0 ? stddev / std::sqrt(static_cast<double>(simulations))
+                         : 0.0;
+}
+
+SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
+                              std::span<const NodeId> seeds,
+                              uint32_t simulations, uint64_t seed) {
+  CascadeContext context(graph.num_nodes());
+  std::vector<NodeId> samples;
+  samples.reserve(simulations);
+  for (uint32_t i = 0; i < simulations; ++i) {
+    Rng rng = Rng::ForStream(seed, i);
+    samples.push_back(context.Simulate(graph, kind, seeds, rng));
+  }
+  return Aggregate(samples);
+}
+
+SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
+                              std::span<const NodeId> seeds,
+                              uint32_t simulations, CascadeContext& context,
+                              Rng& rng) {
+  std::vector<NodeId> samples;
+  samples.reserve(simulations);
+  for (uint32_t i = 0; i < simulations; ++i) {
+    samples.push_back(context.Simulate(graph, kind, seeds, rng));
+  }
+  return Aggregate(samples);
+}
+
+}  // namespace imbench

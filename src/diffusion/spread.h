@@ -1,0 +1,42 @@
+// Monte-Carlo estimation of the expected spread σ(S) = E[Γ(S)] (Sec. 2).
+#ifndef IMBENCH_DIFFUSION_SPREAD_H_
+#define IMBENCH_DIFFUSION_SPREAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+// Number of MC simulations Kempe et al. recommend and the study adopts for
+// final spread evaluation (Sec. 5.1 "Computing expected spread").
+inline constexpr uint32_t kReferenceSimulations = 10000;
+
+struct SpreadEstimate {
+  double mean = 0;     // σ(S) estimate
+  double stddev = 0;   // sample standard deviation of Γ(S)
+  uint32_t simulations = 0;
+
+  // Standard error of the mean.
+  double StdError() const;
+};
+
+// Runs `simulations` cascades of `seeds` and aggregates Γ(S). Deterministic
+// in (seed, simulations): simulation i uses stream Rng::ForStream(seed, i).
+SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
+                              std::span<const NodeId> seeds,
+                              uint32_t simulations, uint64_t seed);
+
+// As above but reuses caller scratch (for tight greedy loops) and a live
+// Rng stream instead of per-simulation streams.
+SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
+                              std::span<const NodeId> seeds,
+                              uint32_t simulations, CascadeContext& context,
+                              Rng& rng);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_DIFFUSION_SPREAD_H_

@@ -1,0 +1,96 @@
+#include "framework/experiment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "framework/metrics.h"
+
+namespace imbench {
+
+const char* CellStatusName(CellResult::Status status) {
+  switch (status) {
+    case CellResult::Status::kOk:
+      return "OK";
+    case CellResult::Status::kDnf:
+      return "DNF";
+    case CellResult::Status::kOverBudget:
+      return "Crashed";
+    case CellResult::Status::kUnsupported:
+      return "NA";
+  }
+  return "?";
+}
+
+const Graph& Workbench::GetGraph(const std::string& dataset,
+                                 WeightModel model, double ic_probability) {
+  const std::string key =
+      dataset + "/" + WeightModelName(model) +
+      (model == WeightModel::kIcConstant ? std::to_string(ic_probability)
+                                         : std::string());
+  auto it = graphs_.find(key);
+  if (it != graphs_.end()) return it->second;
+
+  Graph graph = MakeDataset(dataset, options_.scale, options_.seed);
+  Rng rng = Rng::ForStream(options_.seed, 0x8e1);
+  AssignWeights(graph, model, ic_probability, rng);
+  return graphs_.emplace(key, std::move(graph)).first->second;
+}
+
+CellResult Workbench::RunCell(const std::string& algorithm,
+                              const std::string& dataset, WeightModel model,
+                              uint32_t k, double parameter) {
+  const AlgorithmSpec* spec = FindAlgorithm(algorithm);
+  IMBENCH_CHECK_MSG(spec != nullptr, "unknown algorithm '%s'",
+                    algorithm.c_str());
+  if (!spec->Supports(DiffusionKindFor(model))) {
+    CellResult result;
+    result.status = CellResult::Status::kUnsupported;
+    return result;
+  }
+  if (std::isnan(parameter)) parameter = spec->OptimalParameterFor(model);
+  std::unique_ptr<ImAlgorithm> instance = spec->make(parameter);
+  return RunCell(*instance, dataset, model, k);
+}
+
+CellResult Workbench::RunCell(ImAlgorithm& algorithm,
+                              const std::string& dataset, WeightModel model,
+                              uint32_t k) {
+  CellResult result;
+  const DiffusionKind kind = DiffusionKindFor(model);
+  if (!algorithm.Supports(kind)) {
+    result.status = CellResult::Status::kUnsupported;
+    return result;
+  }
+  const Graph& graph = GetGraph(dataset, model);
+
+  SelectionInput input;
+  input.graph = &graph;
+  input.diffusion = kind;
+  input.k = k;
+  input.seed = options_.seed;
+  input.counters = &result.counters;
+
+  RunMeter meter;
+  meter.Start();
+  SelectionResult selection = algorithm.Select(input);
+  const Measurement measurement = meter.Stop();
+
+  result.seeds = std::move(selection.seeds);
+  result.internal_estimate = selection.internal_spread_estimate;
+  result.select_seconds = measurement.seconds;
+  result.peak_heap_bytes = measurement.peak_heap_bytes;
+  if (selection.over_budget) {
+    result.status = CellResult::Status::kOverBudget;
+  } else if (measurement.seconds > options_.time_budget_seconds) {
+    result.status = CellResult::Status::kDnf;
+  }
+  // Spread computation phase (Sec. 5.1): decoupled MC evaluation so every
+  // technique is compared from the same standpoint. Still evaluated for
+  // DNF/over-budget cells — their best-effort seeds are informative.
+  result.spread = EstimateSpread(graph, kind, result.seeds,
+                                 options_.evaluation_simulations,
+                                 options_.seed ^ 0x5f12ead0c0ffeeULL);
+  return result;
+}
+
+}  // namespace imbench

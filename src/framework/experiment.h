@@ -1,0 +1,83 @@
+// Experiment runner used by the figure/table harnesses: caches weighted
+// dataset graphs, runs (algorithm, dataset, model, k) cells under time
+// budgets, and measures time / peak memory / spread uniformly.
+#ifndef IMBENCH_FRAMEWORK_EXPERIMENT_H_
+#define IMBENCH_FRAMEWORK_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.h"
+#include "diffusion/spread.h"
+#include "framework/datasets.h"
+#include "framework/registry.h"
+#include "graph/weights.h"
+
+namespace imbench {
+
+// Result of one benchmark cell.
+struct CellResult {
+  enum class Status {
+    kOk,
+    kDnf,         // exceeded the time budget (paper: "DNF")
+    kOverBudget,  // exceeded the memory budget (paper: "Crashed")
+    kUnsupported  // model not supported by the technique (Table 5)
+  };
+
+  Status status = Status::kOk;
+  std::vector<NodeId> seeds;
+  SpreadEstimate spread;            // MC-evaluated σ(S)
+  double internal_estimate = 0;     // the algorithm's own (extrapolated) σ
+  double select_seconds = 0;
+  uint64_t peak_heap_bytes = 0;
+  Counters counters;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+const char* CellStatusName(CellResult::Status status);
+
+// Shared configuration for a harness run.
+struct WorkbenchOptions {
+  DatasetScale scale = DatasetScale::kBench;
+  uint64_t seed = 7;
+  // r for final spread evaluation. The paper uses 10K; harness defaults
+  // lower it so every binary finishes quickly (override with --mc).
+  uint32_t evaluation_simulations = 1000;
+  // A cell whose seed selection exceeds this is reported DNF. The paper's
+  // cutoff is 40 hours; harnesses use seconds-scale budgets.
+  double time_budget_seconds = 120.0;
+};
+
+class Workbench {
+ public:
+  explicit Workbench(const WorkbenchOptions& options) : options_(options) {}
+
+  const WorkbenchOptions& options() const { return options_; }
+
+  // The weighted graph for (dataset, model); built and cached on demand.
+  // `ic_probability` applies to WeightModel::kIcConstant only.
+  const Graph& GetGraph(const std::string& dataset, WeightModel model,
+                        double ic_probability = 0.1);
+
+  // Runs one cell. `parameter` NaN selects the Table 2 optimum for the
+  // model (falling back to the author default).
+  CellResult RunCell(const std::string& algorithm, const std::string& dataset,
+                     WeightModel model, uint32_t k,
+                     double parameter = kDefaultParameter);
+
+  // As above against an explicit algorithm instance (for option variants
+  // the registry does not expose, e.g. IMRank stopping criteria).
+  CellResult RunCell(ImAlgorithm& algorithm, const std::string& dataset,
+                     WeightModel model, uint32_t k);
+
+ private:
+  WorkbenchOptions options_;
+  std::map<std::string, Graph> graphs_;  // key: dataset "/" model
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_FRAMEWORK_EXPERIMENT_H_

@@ -1,0 +1,27 @@
+// Process-wide heap accounting for the memory-footprint benchmarks
+// (Fig. 8, Table 3).
+//
+// The library overrides the global operator new/delete pair and keeps
+// current / peak byte counters (exact sizes via glibc malloc_usable_size).
+// Harnesses call ResetPeakHeapBytes() before a run and read the peak after;
+// the delta over the pre-run current usage is the algorithm's working
+// memory, excluding the shared graph.
+#ifndef IMBENCH_FRAMEWORK_MEMORY_H_
+#define IMBENCH_FRAMEWORK_MEMORY_H_
+
+#include <cstdint>
+
+namespace imbench {
+
+// Bytes currently allocated through operator new.
+uint64_t CurrentHeapBytes();
+
+// High-water mark since process start or the last ResetPeakHeapBytes().
+uint64_t PeakHeapBytes();
+
+// Sets the peak to the current usage.
+void ResetPeakHeapBytes();
+
+}  // namespace imbench
+
+#endif  // IMBENCH_FRAMEWORK_MEMORY_H_

@@ -1,0 +1,21 @@
+#include "framework/metrics.h"
+
+#include "framework/memory.h"
+
+namespace imbench {
+
+void RunMeter::Start() {
+  baseline_bytes_ = CurrentHeapBytes();
+  ResetPeakHeapBytes();
+  timer_.Restart();
+}
+
+Measurement RunMeter::Stop() const {
+  Measurement m;
+  m.seconds = timer_.Seconds();
+  const uint64_t peak = PeakHeapBytes();
+  m.peak_heap_bytes = peak > baseline_bytes_ ? peak - baseline_bytes_ : 0;
+  return m;
+}
+
+}  // namespace imbench

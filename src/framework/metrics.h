@@ -1,0 +1,33 @@
+// Per-run measurement: wall time + working-memory high-water mark.
+#ifndef IMBENCH_FRAMEWORK_METRICS_H_
+#define IMBENCH_FRAMEWORK_METRICS_H_
+
+#include <cstdint>
+
+#include "common/timer.h"
+
+namespace imbench {
+
+struct Measurement {
+  double seconds = 0;
+  // Peak heap above the level at Start(): the run's working memory.
+  uint64_t peak_heap_bytes = 0;
+};
+
+// Meter around a unit of work. Not reentrant: one active meter at a time
+// (the peak counter is process-global).
+class RunMeter {
+ public:
+  // Records the current heap level and resets the peak.
+  void Start();
+  // Returns elapsed time and peak-above-baseline since Start().
+  Measurement Stop() const;
+
+ private:
+  Timer timer_;
+  uint64_t baseline_bytes_ = 0;
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_FRAMEWORK_METRICS_H_

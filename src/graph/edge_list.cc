@@ -1,0 +1,55 @@
+#include "graph/edge_list.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace imbench {
+
+std::optional<EdgeList> LoadEdgeList(const std::string& path,
+                                     std::vector<uint64_t>* original_ids) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::nullopt;
+
+  EdgeList list;
+  std::unordered_map<uint64_t, NodeId> dense;
+  std::vector<uint64_t> originals;
+  auto intern = [&](uint64_t id) {
+    auto [it, inserted] = dense.try_emplace(id, static_cast<NodeId>(dense.size()));
+    if (inserted) originals.push_back(id);
+    return it->second;
+  };
+
+  char line[256];
+  bool ok = true;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n' ||
+        line[0] == '\r') {
+      continue;
+    }
+    unsigned long long u = 0, v = 0;
+    if (std::sscanf(line, "%llu %llu", &u, &v) != 2) {
+      ok = false;
+      break;
+    }
+    list.arcs.push_back(Arc{intern(u), intern(v)});
+  }
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+
+  list.num_nodes = static_cast<NodeId>(dense.size());
+  if (original_ids != nullptr) *original_ids = std::move(originals);
+  return list;
+}
+
+bool SaveEdgeList(const std::string& path, const EdgeList& list) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fprintf(file, "# imbench edge list: %u nodes, %zu arcs\n",
+               list.num_nodes, list.arcs.size());
+  for (const Arc& a : list.arcs) {
+    std::fprintf(file, "%u\t%u\n", a.source, a.target);
+  }
+  return std::fclose(file) == 0;
+}
+
+}  // namespace imbench

@@ -1,0 +1,34 @@
+// Plain-text edge-list IO (the format used by SNAP datasets).
+//
+// A file is a sequence of lines `u<ws>v`; lines starting with `#` or `%`
+// are comments. Node ids are arbitrary non-negative integers and are
+// remapped to a dense [0, n) range on load.
+#ifndef IMBENCH_GRAPH_EDGE_LIST_H_
+#define IMBENCH_GRAPH_EDGE_LIST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace imbench {
+
+// An edge list plus the node-count needed to build a Graph.
+struct EdgeList {
+  NodeId num_nodes = 0;
+  std::vector<Arc> arcs;
+};
+
+// Loads a SNAP-style edge list. Returns std::nullopt on IO or parse error.
+// Original ids are densified; `original_ids`, when non-null, receives the
+// original id of each dense node.
+std::optional<EdgeList> LoadEdgeList(
+    const std::string& path, std::vector<uint64_t>* original_ids = nullptr);
+
+// Writes `list` in the same format. Returns false on IO error.
+bool SaveEdgeList(const std::string& path, const EdgeList& list);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_GRAPH_EDGE_LIST_H_

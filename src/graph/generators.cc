@@ -1,0 +1,186 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace imbench {
+namespace {
+
+// Packs an arc into one 64-bit key for dedup during generation.
+uint64_t ArcKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+EdgeList ErdosRenyi(NodeId num_nodes, uint64_t num_arcs, Rng& rng) {
+  IMBENCH_CHECK(num_nodes >= 2);
+  const uint64_t max_arcs =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1);
+  IMBENCH_CHECK_MSG(num_arcs <= max_arcs / 2,
+                    "requested arc count too dense for rejection sampling");
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.arcs.reserve(num_arcs);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_arcs * 2);
+  while (list.arcs.size() < num_arcs) {
+    const NodeId u = rng.NextU32(num_nodes);
+    const NodeId v = rng.NextU32(num_nodes);
+    if (u == v) continue;
+    if (!seen.insert(ArcKey(u, v)).second) continue;
+    list.arcs.push_back(Arc{u, v});
+  }
+  return list;
+}
+
+EdgeList BarabasiAlbert(NodeId num_nodes, uint32_t edges_per_node, Rng& rng) {
+  IMBENCH_CHECK(edges_per_node >= 1);
+  IMBENCH_CHECK(num_nodes > edges_per_node);
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.arcs.reserve(static_cast<size_t>(num_nodes) * edges_per_node);
+  // `endpoints` holds every arc endpoint seen so far; sampling an element
+  // uniformly is sampling a node with probability proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(list.arcs.capacity() * 2);
+  // Seed clique over the first edges_per_node + 1 nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      list.arcs.push_back(Arc{u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = edges_per_node + 1; u < num_nodes; ++u) {
+    uint32_t added = 0;
+    std::unordered_set<NodeId> picked;
+    // Rejection loop: with edges_per_node << graph size this terminates
+    // quickly; a hard bound keeps degenerate cases finite.
+    for (uint32_t attempt = 0; added < edges_per_node && attempt < 64 * edges_per_node;
+         ++attempt) {
+      const NodeId v =
+          endpoints[rng.NextU64(static_cast<uint64_t>(endpoints.size()))];
+      if (v == u || !picked.insert(v).second) continue;
+      list.arcs.push_back(Arc{u, v});
+      ++added;
+    }
+    for (const NodeId v : picked) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return list;
+}
+
+EdgeList WattsStrogatz(NodeId num_nodes, uint32_t k, double beta, Rng& rng) {
+  IMBENCH_CHECK(k % 2 == 0 && k >= 2);
+  IMBENCH_CHECK(num_nodes > k);
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.arcs.reserve(static_cast<size_t>(num_nodes) * k / 2);
+  std::unordered_set<uint64_t> seen;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng.Bernoulli(beta)) {
+        // Rewire the far endpoint to a uniform non-duplicate target.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const NodeId w = rng.NextU32(num_nodes);
+          if (w == u || seen.contains(ArcKey(u, w))) continue;
+          v = w;
+          break;
+        }
+      }
+      if (v == u || !seen.insert(ArcKey(u, v)).second) continue;
+      list.arcs.push_back(Arc{u, v});
+    }
+  }
+  return list;
+}
+
+EdgeList ChungLu(NodeId num_nodes, uint64_t num_arcs, double exponent,
+                 Rng& rng) {
+  IMBENCH_CHECK(exponent > 1.0);
+  // Draw node weights w_i ~ power law via inverse transform, then sample
+  // arc endpoints from the weight distribution ("edge-skeleton" method):
+  // picking each endpoint with probability proportional to its weight gives
+  // P(u, v) ∝ w_u * w_v, the Chung–Lu model.
+  std::vector<double> weights(num_nodes);
+  std::vector<double> cumulative(num_nodes);
+  double total = 0;
+  const double inv = -1.0 / (exponent - 1.0);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const double x = 1.0 - rng.NextDouble();  // (0, 1]
+    weights[u] = std::pow(x, inv);            // Pareto with xmin = 1
+    total += weights[u];
+    cumulative[u] = total;
+  }
+  auto sample_node = [&]() {
+    const double r = rng.NextDouble() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<NodeId>(it - cumulative.begin());
+  };
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.arcs.reserve(num_arcs);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_arcs * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = num_arcs * 50 + 1000;
+  while (list.arcs.size() < num_arcs && attempts++ < max_attempts) {
+    const NodeId u = sample_node();
+    const NodeId v = sample_node();
+    if (u == v) continue;
+    if (!seen.insert(ArcKey(u, v)).second) continue;
+    list.arcs.push_back(Arc{u, v});
+  }
+  return list;
+}
+
+EdgeList Rmat(NodeId num_nodes, uint64_t num_arcs, const RmatParams& params,
+              Rng& rng) {
+  IMBENCH_CHECK(num_nodes >= 2);
+  const double sum = params.a + params.b + params.c + params.d;
+  IMBENCH_CHECK_MSG(std::abs(sum - 1.0) < 1e-9, "RMAT params must sum to 1");
+  int scale = 0;
+  while ((NodeId{1} << scale) < num_nodes) ++scale;
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.arcs.reserve(num_arcs);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_arcs * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = num_arcs * 50 + 1000;
+  while (list.arcs.size() < num_arcs && attempts++ < max_attempts) {
+    NodeId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      // Add ±10% noise per level to avoid the staircase artifact.
+      const double noise = 0.9 + 0.2 * rng.NextDouble();
+      const double a = params.a * noise;
+      const double r = rng.NextDouble() * (a + params.b + params.c + params.d);
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + params.b) {
+        v |= 1;
+      } else if (r < a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u >= num_nodes || v >= num_nodes || u == v) continue;
+    if (!seen.insert(ArcKey(u, v)).second) continue;
+    list.arcs.push_back(Arc{u, v});
+  }
+  return list;
+}
+
+}  // namespace imbench

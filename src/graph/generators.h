@@ -1,0 +1,53 @@
+// Synthetic social-network generators.
+//
+// The paper benchmarks on SNAP/arXiv crawls (Table 1), which are not
+// redistributable with this repository. These generators produce graphs
+// whose size, directedness and degree-distribution shape match the paper's
+// datasets (see framework/datasets.h for the calibrated profiles). All
+// generators are deterministic given the Rng seed.
+#ifndef IMBENCH_GRAPH_GENERATORS_H_
+#define IMBENCH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+// G(n, m): m distinct arcs chosen uniformly at random.
+EdgeList ErdosRenyi(NodeId num_nodes, uint64_t num_arcs, Rng& rng);
+
+// Barabási–Albert preferential attachment: each new node attaches to
+// `edges_per_node` existing nodes with probability proportional to degree.
+// Produces one direction per attachment; pair with make_bidirectional to
+// model an undirected network.
+EdgeList BarabasiAlbert(NodeId num_nodes, uint32_t edges_per_node, Rng& rng);
+
+// Watts–Strogatz small world: ring lattice of even degree `k`, each arc
+// rewired with probability `beta`.
+EdgeList WattsStrogatz(NodeId num_nodes, uint32_t k, double beta, Rng& rng);
+
+// Chung–Lu: arcs sampled with probability proportional to the product of
+// endpoint weights drawn from a power law with the given exponent (> 1).
+// Expected arc count is `num_arcs`.
+EdgeList ChungLu(NodeId num_nodes, uint64_t num_arcs, double exponent,
+                 Rng& rng);
+
+// R-MAT / Kronecker-style recursive generator (a+b+c+d == 1). The default
+// parameters are the classic (0.57, 0.19, 0.19, 0.05) used for social
+// graphs. num_nodes is rounded up to a power of two internally but ids are
+// kept within [0, num_nodes).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+};
+EdgeList Rmat(NodeId num_nodes, uint64_t num_arcs, const RmatParams& params,
+              Rng& rng);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_GRAPH_GENERATORS_H_

@@ -1,0 +1,134 @@
+// Immutable edge-weighted directed graph in CSR form (Definition 1).
+//
+// The graph stores both forward (out-neighbor) and reverse (in-neighbor)
+// adjacency so that cascade simulation (forward traversal) and
+// reverse-reachable-set sampling (backward traversal) are both contiguous
+// scans. Edge weights W(u,v) live in a single per-forward-edge array; the
+// reverse CSR carries a mirrored copy that is kept in sync by SetWeights(),
+// so the two views can never disagree.
+#ifndef IMBENCH_GRAPH_GRAPH_H_
+#define IMBENCH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace imbench {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// A directed arc used while building a graph.
+struct Arc {
+  NodeId source = 0;
+  NodeId target = 0;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+// Options controlling graph construction.
+struct GraphOptions {
+  // Add the reverse arc for every input arc (the paper makes undirected
+  // graphs directed by keeping both directions, Sec. 5).
+  bool make_bidirectional = false;
+  // Collapse parallel arcs into one, recording multiplicities. Required by
+  // the simulators; disable only for tests of the builder itself.
+  bool dedup = true;
+  // Drop self loops (u, u); they never affect influence spread.
+  bool drop_self_loops = true;
+};
+
+class Graph {
+ public:
+  // Builds a graph over nodes [0, num_nodes) from `arcs`. Arcs referring to
+  // nodes >= num_nodes are rejected (IMBENCH_CHECK). All edge weights start
+  // at 0; assign them with the models in graph/weights.h.
+  static Graph FromArcs(NodeId num_nodes, std::vector<Arc> arcs,
+                        const GraphOptions& options = GraphOptions{});
+
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  // Graphs can be large; copies must be explicit.
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  Graph Clone() const;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(out_targets_.size()); }
+
+  uint32_t OutDegree(NodeId u) const {
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  uint32_t InDegree(NodeId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  // Out-neighbors of u and the matching weights W(u, ·), index-aligned.
+  std::span<const NodeId> OutTargets(NodeId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+  std::span<const double> OutWeights(NodeId u) const {
+    return {out_weights_.data() + out_offsets_[u],
+            out_weights_.data() + out_offsets_[u + 1]};
+  }
+
+  // In-neighbors of v and the matching weights W(·, v), index-aligned.
+  std::span<const NodeId> InSources(NodeId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+  std::span<const double> InWeights(NodeId v) const {
+    return {in_weights_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v + 1]};
+  }
+
+  // Forward edge ids of v's in-edges, aligned with InSources(v). The id of
+  // an edge indexes weights()/multiplicities().
+  std::span<const EdgeId> InEdgeIds(NodeId v) const {
+    return {in_edge_ids_.data() + in_offsets_[v],
+            in_edge_ids_.data() + in_offsets_[v + 1]};
+  }
+
+  // All edge weights, indexed by forward edge id (edges of node 0 first).
+  std::span<const double> weights() const { return out_weights_; }
+
+  // Replaces every edge weight; `weights` is indexed by forward edge id.
+  // Also refreshes the reverse-CSR weight mirror.
+  void SetWeights(std::span<const double> weights);
+
+  // Number of parallel arcs that were collapsed into each edge (>= 1).
+  // Used by the LT-parallel-edges weight model (Sec. 2.1.2).
+  uint32_t EdgeMultiplicity(EdgeId e) const {
+    return multiplicities_.empty() ? 1 : multiplicities_[e];
+  }
+  bool has_parallel_arcs() const { return !multiplicities_.empty(); }
+
+  // Sum of in-edge weights of v (the LT model requires this to be <= 1).
+  double InWeightSum(NodeId v) const;
+
+  // Approximate heap footprint of the CSR arrays, in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+
+  std::vector<EdgeId> out_offsets_ = {0};
+  std::vector<NodeId> out_targets_;
+  std::vector<double> out_weights_;
+
+  std::vector<EdgeId> in_offsets_ = {0};
+  std::vector<NodeId> in_sources_;
+  std::vector<double> in_weights_;
+  std::vector<EdgeId> in_edge_ids_;
+
+  std::vector<uint32_t> multiplicities_;  // empty when all are 1
+};
+
+}  // namespace imbench
+
+#endif  // IMBENCH_GRAPH_GRAPH_H_

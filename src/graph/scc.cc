@@ -1,0 +1,86 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace imbench {
+namespace {
+
+constexpr uint32_t kUndefined = static_cast<uint32_t>(-1);
+
+}  // namespace
+
+SccResult StronglyConnectedComponents(NodeId num_nodes,
+                                      const std::vector<uint32_t>& offsets,
+                                      const std::vector<NodeId>& targets) {
+  SccResult result;
+  result.component.assign(num_nodes, kInvalidNode);
+
+  std::vector<uint32_t> index(num_nodes, kUndefined);
+  std::vector<uint32_t> lowlink(num_nodes, 0);
+  std::vector<bool> on_stack(num_nodes, false);
+  std::vector<NodeId> stack;
+
+  // Explicit DFS frames: (node, next out-edge cursor).
+  struct Frame {
+    NodeId node;
+    uint32_t cursor;
+  };
+  std::vector<Frame> frames;
+  uint32_t next_index = 0;
+
+  for (NodeId root = 0; root < num_nodes; ++root) {
+    if (index[root] != kUndefined) continue;
+    frames.push_back(Frame{root, offsets[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const NodeId u = frame.node;
+      if (frame.cursor < offsets[u + 1]) {
+        const NodeId v = targets[frame.cursor++];
+        if (index[v] == kUndefined) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back(Frame{v, offsets[v]});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // u finished: fold lowlink into parent, pop SCC if u is a root.
+      if (lowlink[u] == index[u]) {
+        const NodeId comp = result.num_components++;
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = comp;
+        } while (w != u);
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const NodeId parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  return result;
+}
+
+SccResult StronglyConnectedComponents(const Graph& graph) {
+  std::vector<uint32_t> offsets(graph.num_nodes() + 1, 0);
+  std::vector<NodeId> targets(graph.num_edges());
+  uint32_t pos = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    offsets[u] = pos;
+    for (const NodeId v : graph.OutTargets(u)) targets[pos++] = v;
+  }
+  offsets[graph.num_nodes()] = pos;
+  return StronglyConnectedComponents(graph.num_nodes(), offsets, targets);
+}
+
+}  // namespace imbench

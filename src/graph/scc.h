@@ -1,0 +1,34 @@
+// Strongly-connected-component decomposition (iterative Tarjan).
+//
+// Used by PMC (Ohsaka et al., AAAI'14) to contract each sampled snapshot
+// into a DAG before reachability counting.
+#ifndef IMBENCH_GRAPH_SCC_H_
+#define IMBENCH_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace imbench {
+
+struct SccResult {
+  // component[v] is the SCC id of v; ids are in reverse topological order
+  // of the condensation (an edge's source component id >= target's).
+  std::vector<NodeId> component;
+  NodeId num_components = 0;
+};
+
+// Decomposes an arbitrary adjacency structure given as a CSR pair. Exposed
+// in this general form because PMC runs it on sampled snapshots, not on the
+// weighted Graph itself.
+SccResult StronglyConnectedComponents(NodeId num_nodes,
+                                      const std::vector<uint32_t>& offsets,
+                                      const std::vector<NodeId>& targets);
+
+// Convenience overload for a full Graph.
+SccResult StronglyConnectedComponents(const Graph& graph);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_GRAPH_SCC_H_

@@ -1,0 +1,103 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace imbench {
+namespace {
+
+// BFS over the union of out- and in-adjacency (weak connectivity) recording
+// hop distances into `dist`; returns number reached.
+NodeId UndirectedBfs(const Graph& graph, NodeId source,
+                     std::vector<uint32_t>& dist,
+                     std::vector<NodeId>& queue) {
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  dist.assign(graph.num_nodes(), kUnvisited);
+  queue.clear();
+  queue.push_back(source);
+  dist[source] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    auto relax = [&](NodeId v) {
+      if (dist[v] == kUnvisited) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    };
+    for (const NodeId v : graph.OutTargets(u)) relax(v);
+    for (const NodeId v : graph.InSources(u)) relax(v);
+  }
+  return static_cast<NodeId>(queue.size());
+}
+
+}  // namespace
+
+NodeId LargestWeaklyConnectedComponent(const Graph& graph) {
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<uint32_t> dist;
+  std::vector<NodeId> queue;
+  NodeId best = 0;
+  for (NodeId s = 0; s < graph.num_nodes(); ++s) {
+    if (seen[s]) continue;
+    const NodeId size = UndirectedBfs(graph, s, dist, queue);
+    for (const NodeId v : queue) seen[v] = true;
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+GraphStats ComputeStats(const Graph& graph, Rng& rng,
+                        uint32_t diameter_samples) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_arcs = graph.num_edges();
+  if (graph.num_nodes() == 0) return stats;
+  stats.avg_out_degree =
+      static_cast<double>(graph.num_edges()) / graph.num_nodes();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+  }
+  stats.largest_wcc_size = LargestWeaklyConnectedComponent(graph);
+
+  // Effective diameter: pool hop distances from sampled sources, take the
+  // value below which 90% of reachable pairs fall, with the standard
+  // fractional interpolation between adjacent hop counts.
+  std::vector<uint32_t> dist;
+  std::vector<NodeId> queue;
+  std::vector<uint64_t> hop_histogram;
+  uint64_t reachable_pairs = 0;
+  const uint32_t samples =
+      std::min<uint32_t>(diameter_samples, graph.num_nodes());
+  for (uint32_t i = 0; i < samples; ++i) {
+    const NodeId s = rng.NextU32(graph.num_nodes());
+    UndirectedBfs(graph, s, dist, queue);
+    for (const NodeId v : queue) {
+      if (v == s) continue;
+      const uint32_t h = dist[v];
+      if (h >= hop_histogram.size()) hop_histogram.resize(h + 1, 0);
+      ++hop_histogram[h];
+      ++reachable_pairs;
+    }
+  }
+  if (reachable_pairs > 0) {
+    const double target = 0.9 * static_cast<double>(reachable_pairs);
+    uint64_t cumulative = 0;
+    for (uint32_t h = 0; h < hop_histogram.size(); ++h) {
+      const uint64_t next = cumulative + hop_histogram[h];
+      if (static_cast<double>(next) >= target) {
+        const double prev = static_cast<double>(cumulative);
+        const double frac =
+            hop_histogram[h] > 0
+                ? (target - prev) / static_cast<double>(hop_histogram[h])
+                : 0.0;
+        stats.effective_diameter_90 = (h > 0 ? h - 1 : 0) + frac;
+        break;
+      }
+      cumulative = next;
+    }
+  }
+  return stats;
+}
+
+}  // namespace imbench

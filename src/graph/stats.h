@@ -1,0 +1,33 @@
+// Dataset statistics reported in Table 1 of the paper.
+#ifndef IMBENCH_GRAPH_STATS_H_
+#define IMBENCH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_arcs = 0;                 // directed arc count in the CSR
+  double avg_out_degree = 0;           // m / n over directed arcs
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  double effective_diameter_90 = 0;    // 90th-percentile pairwise distance
+  NodeId largest_wcc_size = 0;         // weakly connected component
+};
+
+// Computes summary statistics. The 90-percentile effective diameter is
+// estimated from BFS distances out of `diameter_samples` random sources
+// (interpolated between integer hop counts, as SNAP reports it).
+GraphStats ComputeStats(const Graph& graph, Rng& rng,
+                        uint32_t diameter_samples = 64);
+
+// Size of the largest weakly-connected component.
+NodeId LargestWeaklyConnectedComponent(const Graph& graph);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_GRAPH_STATS_H_

@@ -1,0 +1,133 @@
+#include "graph/weights.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace imbench {
+namespace {
+
+// Builds the per-forward-edge weight array by visiting each node's in-edges
+// and writing through the forward edge id. `weight_of` receives (v, i)
+// where i indexes v's in-edge list, and returns W(source_i, v).
+template <typename WeightFn>
+void AssignByTarget(Graph& graph, WeightFn weight_of) {
+  std::vector<double> weights(graph.num_edges(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto edge_ids = graph.InEdgeIds(v);
+    for (size_t i = 0; i < edge_ids.size(); ++i) {
+      weights[edge_ids[i]] = weight_of(v, i);
+    }
+  }
+  graph.SetWeights(weights);
+}
+
+}  // namespace
+
+std::string WeightModelName(WeightModel model) {
+  switch (model) {
+    case WeightModel::kIcConstant:
+      return "IC";
+    case WeightModel::kWc:
+      return "WC";
+    case WeightModel::kTrivalency:
+      return "TV";
+    case WeightModel::kLtUniform:
+      return "LT";
+    case WeightModel::kLtRandom:
+      return "LT-random";
+    case WeightModel::kLtParallel:
+      return "LT-P";
+  }
+  return "?";
+}
+
+void AssignConstantWeights(Graph& graph, double p) {
+  IMBENCH_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<double> weights(graph.num_edges(), p);
+  graph.SetWeights(weights);
+}
+
+void AssignWeightedCascade(Graph& graph) {
+  AssignByTarget(graph, [&](NodeId v, size_t) {
+    return 1.0 / static_cast<double>(graph.InDegree(v));
+  });
+}
+
+void AssignTrivalency(Graph& graph, Rng& rng) {
+  static constexpr double kLevels[3] = {0.001, 0.01, 0.1};
+  std::vector<double> weights(graph.num_edges());
+  for (double& w : weights) w = kLevels[rng.NextU32(3)];
+  graph.SetWeights(weights);
+}
+
+void AssignLtUniform(Graph& graph) {
+  // Identical formula to WC; kept separate because the diffusion semantics
+  // differ (threshold accumulation vs independent coin flips).
+  AssignWeightedCascade(graph);
+}
+
+void AssignLtRandom(Graph& graph, Rng& rng) {
+  // Draw u.a.r. values per in-edge, then normalize per target node so the
+  // incoming weights sum to exactly 1 (Sec. 2.1.2 "Random").
+  std::vector<double> raw(graph.num_edges());
+  std::vector<double> sums(graph.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const EdgeId e : graph.InEdgeIds(v)) {
+      raw[e] = rng.NextDouble();
+      sums[v] += raw[e];
+    }
+  }
+  AssignByTarget(graph, [&](NodeId v, size_t i) {
+    const EdgeId e = graph.InEdgeIds(v)[i];
+    return sums[v] > 0 ? raw[e] / sums[v] : 0.0;
+  });
+}
+
+void AssignLtParallelEdges(Graph& graph) {
+  // W(u,v) = c(u,v) / sum_{u'} c(u',v) where c counts the parallel arcs
+  // consolidated into each edge at graph construction.
+  std::vector<double> count_sums(graph.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const EdgeId e : graph.InEdgeIds(v)) {
+      count_sums[v] += graph.EdgeMultiplicity(e);
+    }
+  }
+  AssignByTarget(graph, [&](NodeId v, size_t i) {
+    const EdgeId e = graph.InEdgeIds(v)[i];
+    return count_sums[v] > 0 ? graph.EdgeMultiplicity(e) / count_sums[v] : 0.0;
+  });
+}
+
+void AssignWeights(Graph& graph, WeightModel model, double p, Rng& rng) {
+  switch (model) {
+    case WeightModel::kIcConstant:
+      AssignConstantWeights(graph, p);
+      return;
+    case WeightModel::kWc:
+      AssignWeightedCascade(graph);
+      return;
+    case WeightModel::kTrivalency:
+      AssignTrivalency(graph, rng);
+      return;
+    case WeightModel::kLtUniform:
+      AssignLtUniform(graph);
+      return;
+    case WeightModel::kLtRandom:
+      AssignLtRandom(graph, rng);
+      return;
+    case WeightModel::kLtParallel:
+      AssignLtParallelEdges(graph);
+      return;
+  }
+  IMBENCH_CHECK_MSG(false, "unknown weight model");
+}
+
+bool SatisfiesLtConstraint(const Graph& graph, double eps) {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.InWeightSum(v) > 1.0 + eps) return false;
+  }
+  return true;
+}
+
+}  // namespace imbench

@@ -1,0 +1,54 @@
+// Edge-weight assignment models (Sec. 2.1 of the paper).
+//
+// IC models:
+//   * Constant:   W(u,v) = p (typically 0.01 or 0.1)
+//   * WC:         W(u,v) = 1 / |In(v)|
+//   * Trivalency: W(u,v) drawn uniformly from {0.001, 0.01, 0.1}
+// LT models:
+//   * Uniform:        W(u,v) = 1 / |In(v)|
+//   * Random:         uniform draws normalized so in-weights sum to 1
+//   * Parallel edges: W(u,v) = c(u,v) / sum of parallel-arc counts into v
+//
+// All functions overwrite every edge weight of `graph`.
+#ifndef IMBENCH_GRAPH_WEIGHTS_H_
+#define IMBENCH_GRAPH_WEIGHTS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace imbench {
+
+// The weight models named by the study. kIcConstant/kWc/kTrivalency pair
+// with the IC cascade; kLtUniform/kLtRandom/kLtParallel with LT.
+enum class WeightModel {
+  kIcConstant,
+  kWc,
+  kTrivalency,
+  kLtUniform,
+  kLtRandom,
+  kLtParallel,
+};
+
+// Short names used in tables: "IC", "WC", "TV", "LT", "LT-random", "LT-P".
+std::string WeightModelName(WeightModel model);
+
+void AssignConstantWeights(Graph& graph, double p);
+void AssignWeightedCascade(Graph& graph);
+void AssignTrivalency(Graph& graph, Rng& rng);
+void AssignLtUniform(Graph& graph);
+void AssignLtRandom(Graph& graph, Rng& rng);
+void AssignLtParallelEdges(Graph& graph);
+
+// Dispatches to the functions above. `p` is used by kIcConstant only;
+// `rng` by kTrivalency / kLtRandom only.
+void AssignWeights(Graph& graph, WeightModel model, double p, Rng& rng);
+
+// True when every node's in-weights sum to at most 1 + eps (the LT model
+// requirement, Definition 5).
+bool SatisfiesLtConstraint(const Graph& graph, double eps = 1e-9);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_GRAPH_WEIGHTS_H_

@@ -1,0 +1,126 @@
+// Cross-cutting property tests: every registered technique, on every
+// weight model it supports, must return k valid distinct seeds
+// deterministically and with sane quality.
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/spread.h"
+#include "framework/datasets.h"
+#include "framework/registry.h"
+#include "graph/weights.h"
+
+namespace imbench {
+namespace {
+
+using Param = std::tuple<std::string, WeightModel>;
+
+std::vector<Param> AllSupportedCombinations() {
+  std::vector<Param> params;
+  for (const AlgorithmSpec& spec : AlgorithmRegistry()) {
+    if (spec.name == "GREEDY") continue;  // covered in celf_family_test
+    for (const WeightModel model :
+         {WeightModel::kIcConstant, WeightModel::kWc,
+          WeightModel::kLtUniform}) {
+      if (spec.Supports(DiffusionKindFor(model))) {
+        params.emplace_back(spec.name, model);
+      }
+    }
+  }
+  return params;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = std::get<0>(info.param) + "_" +
+                     WeightModelName(std::get<1>(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class AlgorithmPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  // A tiny profile keeps the slowest techniques (CELF at 10K sims) fast;
+  // parameters are dialed down via the spectrum's cheapest entry.
+  static Graph MakeWeighted(WeightModel model) {
+    Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+    Rng rng(5);
+    AssignWeights(g, model, 0.1, rng);
+    return g;
+  }
+
+  static double CheapestParameter(const AlgorithmSpec& spec) {
+    if (!spec.HasParameter()) return kDefaultParameter;
+    return spec.parameter_spectrum.back();
+  }
+};
+
+TEST_P(AlgorithmPropertyTest, ReturnsKDistinctValidSeeds) {
+  const auto& [name, model] = GetParam();
+  const AlgorithmSpec* spec = FindAlgorithm(name);
+  ASSERT_NE(spec, nullptr);
+  Graph g = MakeWeighted(model);
+  const auto algorithm = spec->make(CheapestParameter(*spec));
+  SelectionInput input;
+  input.graph = &g;
+  input.diffusion = DiffusionKindFor(model);
+  input.k = 8;
+  input.seed = 3;
+  const SelectionResult result = algorithm->Select(input);
+  ASSERT_EQ(result.seeds.size(), 8u);
+  std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const NodeId s : result.seeds) EXPECT_LT(s, g.num_nodes());
+}
+
+TEST_P(AlgorithmPropertyTest, DeterministicAcrossRuns) {
+  const auto& [name, model] = GetParam();
+  const AlgorithmSpec* spec = FindAlgorithm(name);
+  Graph g = MakeWeighted(model);
+  SelectionInput input;
+  input.graph = &g;
+  input.diffusion = DiffusionKindFor(model);
+  input.k = 5;
+  input.seed = 9;
+  const auto a = spec->make(CheapestParameter(*spec))->Select(input);
+  const auto b = spec->make(CheapestParameter(*spec))->Select(input);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST_P(AlgorithmPropertyTest, BeatsBottomDegreeBaseline) {
+  const auto& [name, model] = GetParam();
+  const AlgorithmSpec* spec = FindAlgorithm(name);
+  Graph g = MakeWeighted(model);
+  SelectionInput input;
+  input.graph = &g;
+  input.diffusion = DiffusionKindFor(model);
+  input.k = 8;
+  input.seed = 3;
+  const SelectionResult result =
+      spec->make(CheapestParameter(*spec))->Select(input);
+  const double spread =
+      EstimateSpread(g, input.diffusion, result.seeds, 1000, 11).mean;
+
+  // Baseline: the k lowest out-degree nodes.
+  std::vector<std::pair<uint32_t, NodeId>> by_degree;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    by_degree.emplace_back(g.OutDegree(v), v);
+  }
+  std::sort(by_degree.begin(), by_degree.end());
+  std::vector<NodeId> bottom;
+  for (int i = 0; i < 8; ++i) bottom.push_back(by_degree[i].second);
+  const double bottom_spread =
+      EstimateSpread(g, input.diffusion, bottom, 1000, 11).mean;
+  EXPECT_GE(spread, bottom_spread);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmPropertyTest,
+                         ::testing::ValuesIn(AllSupportedCombinations()),
+                         ParamName);
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,108 @@
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/grid.h"
+
+namespace imbench::benchutil {
+namespace {
+
+TEST(BenchUtilTest, SplitCsvBasics) {
+  EXPECT_EQ(SplitCsv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsv("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(SplitCsv(""), (std::vector<std::string>{}));
+  // Empty segments are dropped.
+  EXPECT_EQ(SplitCsv("a,,b,"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(BenchUtilTest, ParseKList) {
+  EXPECT_EQ(ParseKList("10,25,50"), (std::vector<uint32_t>{10, 25, 50}));
+  EXPECT_EQ(ParseKList("1"), (std::vector<uint32_t>{1}));
+}
+
+TEST(BenchUtilTest, SpreadCellFormatsStatuses) {
+  CellResult ok;
+  ok.spread.mean = 123.456;
+  EXPECT_EQ(SpreadCell(ok), "123.5");
+
+  CellResult dnf = ok;
+  dnf.status = CellResult::Status::kDnf;
+  EXPECT_EQ(SpreadCell(dnf), "123.5 (DNF)");
+
+  CellResult crashed = ok;
+  crashed.status = CellResult::Status::kOverBudget;
+  EXPECT_EQ(SpreadCell(crashed), "123.5 (Crashed)");
+
+  CellResult unsupported;
+  unsupported.status = CellResult::Status::kUnsupported;
+  EXPECT_EQ(SpreadCell(unsupported), "NA");
+}
+
+TEST(BenchUtilTest, TimeAndMemoryCells) {
+  CellResult cell;
+  cell.select_seconds = 1.5;
+  cell.peak_heap_bytes = 2'000'000;
+  EXPECT_EQ(TimeCell(cell), "1.500");
+  EXPECT_EQ(MemoryCell(cell), "2.00");
+
+  cell.status = CellResult::Status::kDnf;
+  EXPECT_EQ(TimeCell(cell), "1.500 (DNF)");
+  cell.status = CellResult::Status::kOverBudget;
+  EXPECT_EQ(MemoryCell(cell), "2.00 (Crashed)");
+  cell.status = CellResult::Status::kUnsupported;
+  EXPECT_EQ(TimeCell(cell), "NA");
+  EXPECT_EQ(MemoryCell(cell), "NA");
+}
+
+TEST(GridTest, ParseModelsAcceptsAllNames) {
+  const auto models = ParseModels("IC,WC,TV,LT,LT-random,LT-P");
+  ASSERT_EQ(models.size(), 6u);
+  EXPECT_EQ(models[0], WeightModel::kIcConstant);
+  EXPECT_EQ(models[2], WeightModel::kTrivalency);
+  EXPECT_EQ(models[5], WeightModel::kLtParallel);
+}
+
+TEST(GridTest, PanelLayoutRoutesTechniques) {
+  // Default (fast) mode: the paper's panel assignment.
+  EXPECT_FALSE(SkipCell("CELF", "nethept", WeightModel::kWc, false));
+  EXPECT_TRUE(SkipCell("CELF", "dblp", WeightModel::kWc, false));
+  EXPECT_FALSE(SkipCell("IMM", "hepph", WeightModel::kWc, false));
+  EXPECT_TRUE(SkipCell("IMM", "hepph", WeightModel::kLtUniform, false));
+  EXPECT_FALSE(SkipCell("IMM", "dblp", WeightModel::kLtUniform, false));
+  EXPECT_FALSE(SkipCell("SG", "youtube", WeightModel::kIcConstant, false));
+  // --full runs everything everywhere.
+  EXPECT_FALSE(SkipCell("CELF", "friendster", WeightModel::kWc, true));
+}
+
+TEST(GridTest, FastParametersAreCheaperThanTable2) {
+  const AlgorithmSpec* celf = FindAlgorithm("CELF");
+  ASSERT_NE(celf, nullptr);
+  EXPECT_LT(GridParameter(*celf, WeightModel::kWc, false),
+            celf->OptimalParameterFor(WeightModel::kWc));
+  // --full defers to the registry (NaN sentinel).
+  EXPECT_TRUE(std::isnan(GridParameter(*celf, WeightModel::kWc, true)));
+  // IC uses the paper's own ε = 0.5 for the RR-set methods.
+  const AlgorithmSpec* imm = FindAlgorithm("IMM");
+  EXPECT_DOUBLE_EQ(GridParameter(*imm, WeightModel::kIcConstant, false), 0.5);
+}
+
+TEST(GridTest, RunGridHonorsSupportMatrix) {
+  WorkbenchOptions options;
+  options.scale = DatasetScale::kTiny;
+  options.evaluation_simulations = 50;
+  Workbench bench(options);
+  const auto cells = RunGrid(bench, {"nethept"}, {WeightModel::kLtUniform},
+                             {3}, /*full=*/false);
+  for (const GridCell& cell : cells) {
+    const AlgorithmSpec* spec = FindAlgorithm(cell.algorithm);
+    ASSERT_NE(spec, nullptr);
+    EXPECT_TRUE(spec->supports_lt) << cell.algorithm;
+  }
+  // CELF family runs on nethept under the panel layout.
+  bool has_celf = false;
+  for (const GridCell& cell : cells) has_celf |= (cell.algorithm == "CELF");
+  EXPECT_TRUE(has_celf);
+}
+
+}  // namespace
+}  // namespace imbench::benchutil

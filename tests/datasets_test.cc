@@ -1,0 +1,114 @@
+#include "framework/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace imbench {
+namespace {
+
+TEST(DatasetsTest, CatalogMatchesTable1) {
+  const auto& catalog = DatasetCatalog();
+  ASSERT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog[0].name, "nethept");
+  EXPECT_EQ(catalog[0].paper_nodes, 15'000u);
+  EXPECT_EQ(catalog[0].paper_edges, 31'000u);
+  EXPECT_FALSE(catalog[0].directed);
+  EXPECT_EQ(catalog[4].name, "livejournal");
+  EXPECT_TRUE(catalog[4].directed);
+  EXPECT_TRUE(catalog[7].large);
+  EXPECT_FALSE(catalog[1].large);
+}
+
+TEST(DatasetsTest, FindByName) {
+  EXPECT_NE(FindDataset("youtube"), nullptr);
+  EXPECT_EQ(FindDataset("not-a-dataset"), nullptr);
+}
+
+TEST(DatasetsTest, ScaleOrdering) {
+  const DatasetProfile* profile = FindDataset("dblp");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_LT(profile->NodesAt(DatasetScale::kTiny),
+            profile->NodesAt(DatasetScale::kBench));
+  EXPECT_LT(profile->NodesAt(DatasetScale::kBench),
+            profile->NodesAt(DatasetScale::kPaper));
+  EXPECT_EQ(profile->NodesAt(DatasetScale::kPaper), profile->paper_nodes);
+}
+
+TEST(DatasetsTest, BenchScaleStaysTractable) {
+  for (const DatasetProfile& profile : DatasetCatalog()) {
+    EXPECT_LE(profile.NodesAt(DatasetScale::kBench), 20'000u) << profile.name;
+    EXPECT_LE(profile.EdgesAt(DatasetScale::kBench), 450'000u)
+        << profile.name;
+  }
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  Graph a = MakeDataset("nethept", DatasetScale::kTiny, 99);
+  Graph b = MakeDataset("nethept", DatasetScale::kTiny, 99);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto ta = a.OutTargets(v);
+    const auto tb = b.OutTargets(v);
+    ASSERT_EQ(std::vector<NodeId>(ta.begin(), ta.end()),
+              std::vector<NodeId>(tb.begin(), tb.end()));
+  }
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  Graph a = MakeDataset("nethept", DatasetScale::kTiny, 1);
+  Graph b = MakeDataset("nethept", DatasetScale::kTiny, 2);
+  bool identical = a.num_edges() == b.num_edges();
+  if (identical) {
+    for (NodeId v = 0; v < a.num_nodes() && identical; ++v) {
+      const auto ta = a.OutTargets(v);
+      const auto tb = b.OutTargets(v);
+      identical = std::equal(ta.begin(), ta.end(), tb.begin(), tb.end());
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(DatasetsTest, UndirectedProfilesAreBidirectional) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  // Every arc must have its reverse (the study's directed-ization, Sec. 5).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.OutTargets(u)) {
+      const auto back = g.OutTargets(v);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end());
+    }
+  }
+}
+
+TEST(DatasetsTest, DirectedProfileIsNotForciblySymmetric) {
+  Graph g = MakeDataset("livejournal", DatasetScale::kTiny);
+  bool any_asymmetric = false;
+  for (NodeId u = 0; u < g.num_nodes() && !any_asymmetric; ++u) {
+    for (const NodeId v : g.OutTargets(u)) {
+      const auto back = g.OutTargets(v);
+      if (std::find(back.begin(), back.end(), u) == back.end()) {
+        any_asymmetric = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_asymmetric);
+}
+
+TEST(DatasetsTest, HeavyTailedDegreesAtBenchScale) {
+  Graph g = MakeDataset("hepph", DatasetScale::kBench);
+  Rng rng(3);
+  const GraphStats stats = ComputeStats(g, rng, 8);
+  EXPECT_GT(stats.max_out_degree, 5 * stats.avg_out_degree);
+}
+
+TEST(DatasetsTest, ScaleParseAndNames) {
+  EXPECT_EQ(ParseDatasetScale("tiny"), DatasetScale::kTiny);
+  EXPECT_EQ(ParseDatasetScale("bench"), DatasetScale::kBench);
+  EXPECT_EQ(ParseDatasetScale("paper"), DatasetScale::kPaper);
+  EXPECT_STREQ(DatasetScaleName(DatasetScale::kBench), "bench");
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,83 @@
+#include "graph/edge_list.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+}
+
+TEST(EdgeListTest, LoadsAndDensifiesIds) {
+  const std::string path = TempPath("simple.txt");
+  WriteFile(path, "# comment\n100 200\n200 300\n100 300\n");
+  std::vector<uint64_t> originals;
+  const auto list = LoadEdgeList(path, &originals);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->num_nodes, 3u);
+  EXPECT_EQ(list->arcs.size(), 3u);
+  EXPECT_EQ(originals, (std::vector<uint64_t>{100, 200, 300}));
+  EXPECT_EQ(list->arcs[0], (Arc{0, 1}));
+}
+
+TEST(EdgeListTest, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.txt");
+  WriteFile(path, "% matrix-market style\n\n# snap style\n0 1\n\n1 2\n");
+  const auto list = LoadEdgeList(path);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->arcs.size(), 2u);
+}
+
+TEST(EdgeListTest, TabSeparatedAccepted) {
+  const std::string path = TempPath("tabs.txt");
+  WriteFile(path, "0\t1\n1\t2\n");
+  const auto list = LoadEdgeList(path);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->arcs.size(), 2u);
+}
+
+TEST(EdgeListTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/path/graph.txt").has_value());
+}
+
+TEST(EdgeListTest, MalformedLineReturnsNullopt) {
+  const std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  EXPECT_FALSE(LoadEdgeList(path).has_value());
+}
+
+TEST(EdgeListTest, SaveLoadRoundTrip) {
+  EdgeList list;
+  list.num_nodes = 4;
+  list.arcs = {{0, 1}, {1, 2}, {3, 0}};
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(path, list));
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes, 4u);
+  EXPECT_EQ(loaded->arcs.size(), 3u);
+}
+
+TEST(EdgeListTest, LoadedListBuildsGraph) {
+  const std::string path = TempPath("tograph.txt");
+  WriteFile(path, "5 7\n7 9\n9 5\n");
+  const auto list = LoadEdgeList(path);
+  ASSERT_TRUE(list.has_value());
+  const Graph g = Graph::FromArcs(list->num_nodes, list->arcs);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+}  // namespace
+}  // namespace imbench

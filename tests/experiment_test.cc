@@ -1,0 +1,92 @@
+#include "framework/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/imrank.h"
+
+namespace imbench {
+namespace {
+
+WorkbenchOptions TinyOptions() {
+  WorkbenchOptions options;
+  options.scale = DatasetScale::kTiny;
+  options.evaluation_simulations = 200;
+  options.time_budget_seconds = 60;
+  return options;
+}
+
+TEST(WorkbenchTest, GraphCachingReturnsSameInstance) {
+  Workbench bench(TinyOptions());
+  const Graph& a = bench.GetGraph("nethept", WeightModel::kWc);
+  const Graph& b = bench.GetGraph("nethept", WeightModel::kWc);
+  EXPECT_EQ(&a, &b);
+  const Graph& c = bench.GetGraph("nethept", WeightModel::kLtUniform);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(WorkbenchTest, IcProbabilityDistinguishesCacheEntries) {
+  Workbench bench(TinyOptions());
+  const Graph& p01 = bench.GetGraph("nethept", WeightModel::kIcConstant, 0.1);
+  const Graph& p001 =
+      bench.GetGraph("nethept", WeightModel::kIcConstant, 0.01);
+  EXPECT_NE(&p01, &p001);
+  EXPECT_DOUBLE_EQ(p01.weights()[0], 0.1);
+  EXPECT_DOUBLE_EQ(p001.weights()[0], 0.01);
+}
+
+TEST(WorkbenchTest, RunCellProducesMeasurements) {
+  Workbench bench(TinyOptions());
+  const CellResult result =
+      bench.RunCell("IRIE", "nethept", WeightModel::kWc, 5);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.seeds.size(), 5u);
+  EXPECT_GT(result.spread.mean, 0.0);
+  EXPECT_GE(result.select_seconds, 0.0);
+  EXPECT_GT(result.peak_heap_bytes, 0u);
+}
+
+TEST(WorkbenchTest, UnsupportedModelReportsNa) {
+  Workbench bench(TinyOptions());
+  const CellResult result =
+      bench.RunCell("LDAG", "nethept", WeightModel::kWc, 5);
+  EXPECT_EQ(result.status, CellResult::Status::kUnsupported);
+  EXPECT_TRUE(result.seeds.empty());
+}
+
+TEST(WorkbenchTest, TimeBudgetMarksDnf) {
+  WorkbenchOptions options = TinyOptions();
+  options.time_budget_seconds = 0.0;  // everything overruns
+  Workbench bench(options);
+  const CellResult result =
+      bench.RunCell("IRIE", "nethept", WeightModel::kWc, 3);
+  EXPECT_EQ(result.status, CellResult::Status::kDnf);
+  EXPECT_EQ(result.seeds.size(), 3u);  // best-effort seeds still reported
+}
+
+TEST(WorkbenchTest, ExplicitInstanceOverload) {
+  Workbench bench(TinyOptions());
+  ImRankOptions options;
+  options.stopping = ImRankOptions::Stopping::kTopKSetUnchanged;
+  ImRank imrank(options);
+  const CellResult result =
+      bench.RunCell(imrank, "nethept", WeightModel::kWc, 5);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.counters.scoring_rounds, 0u);
+}
+
+TEST(WorkbenchTest, CountersPopulated) {
+  Workbench bench(TinyOptions());
+  const CellResult result =
+      bench.RunCell("IMM", "nethept", WeightModel::kWc, 5);
+  EXPECT_GT(result.counters.rr_sets, 0u);
+}
+
+TEST(WorkbenchTest, StatusNames) {
+  EXPECT_STREQ(CellStatusName(CellResult::Status::kOk), "OK");
+  EXPECT_STREQ(CellStatusName(CellResult::Status::kDnf), "DNF");
+  EXPECT_STREQ(CellStatusName(CellResult::Status::kOverBudget), "Crashed");
+  EXPECT_STREQ(CellStatusName(CellResult::Status::kUnsupported), "NA");
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,120 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+// Builds a mutable argv from literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (std::string& s : storage_) argv_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags;
+  int64_t* k = flags.AddInt("k", 50, "seeds");
+  double* eps = flags.AddDouble("eps", 0.1, "epsilon");
+  bool* verbose = flags.AddBool("verbose", false, "chatty");
+  std::string* name = flags.AddString("dataset", "nethept", "profile");
+  ArgvBuilder args({});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(*k, 50);
+  EXPECT_DOUBLE_EQ(*eps, 0.1);
+  EXPECT_FALSE(*verbose);
+  EXPECT_EQ(*name, "nethept");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags;
+  int64_t* k = flags.AddInt("k", 0, "");
+  double* eps = flags.AddDouble("eps", 0, "");
+  std::string* s = flags.AddString("s", "", "");
+  ArgvBuilder args({"--k=7", "--eps=0.25", "--s=hello"});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(*k, 7);
+  EXPECT_DOUBLE_EQ(*eps, 0.25);
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  FlagSet flags;
+  int64_t* k = flags.AddInt("k", 0, "");
+  ArgvBuilder args({"--k", "123"});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(*k, 123);
+}
+
+TEST(FlagsTest, BareBoolAndNegation) {
+  FlagSet flags;
+  bool* on = flags.AddBool("on", false, "");
+  bool* off = flags.AddBool("off", true, "");
+  ArgvBuilder args({"--on", "--no-off"});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_TRUE(*on);
+  EXPECT_FALSE(*off);
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagSet flags;
+  bool* a = flags.AddBool("a", false, "");
+  bool* b = flags.AddBool("b", true, "");
+  ArgvBuilder args({"--a=true", "--b=false"});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags;
+  flags.AddInt("k", 0, "");
+  ArgvBuilder args({"first", "--k=1", "second"});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagsTest, NegativeNumbersParse) {
+  FlagSet flags;
+  int64_t* k = flags.AddInt("k", 0, "");
+  double* x = flags.AddDouble("x", 0, "");
+  ArgvBuilder args({"--k=-5", "--x=-1.5"});
+  flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(*k, -5);
+  EXPECT_DOUBLE_EQ(*x, -1.5);
+}
+
+TEST(FlagsDeathTest, UnknownFlagExits) {
+  FlagSet flags;
+  ArgvBuilder args({"--bogus=1"});
+  EXPECT_EXIT(flags.Parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(FlagsDeathTest, BadValueExits) {
+  FlagSet flags;
+  flags.AddInt("k", 0, "");
+  ArgvBuilder args({"--k=abc"});
+  EXPECT_EXIT(flags.Parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(FlagsDeathTest, HelpExitsZero) {
+  FlagSet flags("test program");
+  ArgvBuilder args({"--help"});
+  EXPECT_EXIT(flags.Parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(0), "Usage");
+}
+
+}  // namespace
+}  // namespace imbench

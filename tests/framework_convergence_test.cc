@@ -1,0 +1,124 @@
+// Deterministic tests of the generalized IM module's convergence logic
+// (Alg. 3, lines 10-12) using a scripted fake technique, so the behavior
+// under a quality drop is pinned down without Monte-Carlo noise.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "framework/im_framework.h"
+#include "graph/weights.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+// Selects good seeds (the two star hubs first) while `parameter` is at
+// least `threshold`, and deliberately bad seeds (leaves) below it. On the
+// TwoStars graph with p=1 this produces a sharp, deterministic spread drop
+// at a known point of the spectrum.
+class ThresholdedFake : public ImAlgorithm {
+ public:
+  ThresholdedFake(double parameter, double threshold)
+      : parameter_(parameter), threshold_(threshold) {}
+
+  std::string name() const override { return "Fake"; }
+  bool Supports(DiffusionKind) const override { return true; }
+
+  SelectionResult Select(const SelectionInput& input) override {
+    SelectionResult result;
+    const std::vector<NodeId> good = {0, 4, 1, 5, 2, 6, 3};
+    const std::vector<NodeId> bad = {1, 2, 3, 5, 6, 0, 4};
+    const auto& order = parameter_ >= threshold_ ? good : bad;
+    result.seeds.assign(order.begin(), order.begin() + input.k);
+    return result;
+  }
+
+ private:
+  double parameter_;
+  double threshold_;
+};
+
+AlgorithmSpec FakeSpec(double threshold) {
+  AlgorithmSpec spec;
+  spec.name = "Fake";
+  spec.supports_ic = spec.supports_lt = true;
+  spec.parameter_name = "quality";
+  spec.parameter_spectrum = {100, 80, 60, 40, 20};
+  spec.make = [threshold](double parameter) {
+    return std::make_unique<ThresholdedFake>(parameter, threshold);
+  };
+  return spec;
+}
+
+FrameworkOptions Options(uint32_t k) {
+  FrameworkOptions options;
+  options.k = k;
+  options.evaluation_simulations = 200;
+  options.seed = 3;
+  return options;
+}
+
+TEST(FrameworkConvergenceTest, StopsAtLastGoodParameter) {
+  Graph g = testutil::TwoStars(1.0);
+  // Quality collapses below 60: the framework must walk 100 -> 80 -> 60,
+  // observe the drop at 40, and return 60.
+  const AlgorithmSpec spec = FakeSpec(60);
+  const FrameworkResult result = RunImFramework(
+      g, spec, DiffusionKind::kIndependentCascade, Options(2));
+  EXPECT_DOUBLE_EQ(result.chosen.parameter, 60);
+  // Trials: 100, 80, 60, 40 (the failing probe) — and no more.
+  ASSERT_EQ(result.trials.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.trials.back().parameter, 40);
+  EXPECT_EQ(result.chosen.seeds[0], 0u);
+  EXPECT_EQ(result.chosen.seeds[1], 4u);
+}
+
+TEST(FrameworkConvergenceTest, WalksWholeSpectrumWhenQualityIsFlat) {
+  Graph g = testutil::TwoStars(1.0);
+  const AlgorithmSpec spec = FakeSpec(0);  // never degrades
+  const FrameworkResult result = RunImFramework(
+      g, spec, DiffusionKind::kIndependentCascade, Options(2));
+  EXPECT_DOUBLE_EQ(result.chosen.parameter, 20);  // cheapest setting wins
+  EXPECT_EQ(result.trials.size(), spec.parameter_spectrum.size());
+}
+
+TEST(FrameworkConvergenceTest, DegenerateAtFirstParameterKeepsAnchor) {
+  Graph g = testutil::TwoStars(1.0);
+  const AlgorithmSpec spec = FakeSpec(1000);  // every setting is "bad"
+  const FrameworkResult result = RunImFramework(
+      g, spec, DiffusionKind::kIndependentCascade, Options(2));
+  // All trials produce the same bad seeds, so quality is flat and the
+  // framework legitimately relaxes to the cheapest value.
+  EXPECT_DOUBLE_EQ(result.chosen.parameter, 20);
+}
+
+TEST(FrameworkConvergenceTest, ToleranceWidensAcceptance) {
+  // With an enormous tolerance, even the collapse at 40 "converges". The
+  // graph must be stochastic: on a deterministic graph sd* is zero and the
+  // tolerance multiplier has nothing to scale.
+  Graph g = testutil::TwoStars(0.6);
+  const AlgorithmSpec spec = FakeSpec(60);
+  FrameworkOptions options = Options(2);
+  options.tolerance_stddevs = 1e9;
+  const FrameworkResult result = RunImFramework(
+      g, spec, DiffusionKind::kIndependentCascade, options);
+  EXPECT_DOUBLE_EQ(result.chosen.parameter, 20);
+}
+
+TEST(FrameworkConvergenceTest, ZeroToleranceStopsAtFirstDip) {
+  // Zero tolerance on a stochastic graph: any dip ends the walk, so the
+  // chosen parameter is never *after* the first sub-μ* trial.
+  Graph g = testutil::TwoStars(0.6);
+  const AlgorithmSpec spec = FakeSpec(60);
+  FrameworkOptions options = Options(2);
+  options.tolerance_stddevs = 0.0;
+  const FrameworkResult result = RunImFramework(
+      g, spec, DiffusionKind::kIndependentCascade, options);
+  const double mu_star = result.trials.front().spread.mean;
+  for (size_t i = 1; i + 1 < result.trials.size(); ++i) {
+    EXPECT_GE(result.trials[i].spread.mean, mu_star);
+  }
+}
+
+}  // namespace
+}  // namespace imbench

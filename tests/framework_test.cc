@@ -1,0 +1,87 @@
+#include "framework/im_framework.h"
+
+#include <gtest/gtest.h>
+
+#include "framework/datasets.h"
+#include "graph/weights.h"
+
+namespace imbench {
+namespace {
+
+Graph WcGraph() {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  return g;
+}
+
+TEST(ImFrameworkTest, ParameterFreeTechniqueRunsOnce) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignLtUniform(g);
+  const AlgorithmSpec* spec = FindAlgorithm("LDAG");
+  ASSERT_NE(spec, nullptr);
+  FrameworkOptions options;
+  options.k = 5;
+  options.evaluation_simulations = 300;
+  const FrameworkResult result = RunImFramework(
+      g, *spec, DiffusionKind::kLinearThreshold, options);
+  EXPECT_EQ(result.trials.size(), 1u);
+  EXPECT_EQ(result.chosen.seeds.size(), 5u);
+  EXPECT_GT(result.chosen.spread.mean, 0.0);
+}
+
+TEST(ImFrameworkTest, ChosenParameterComesFromSpectrum) {
+  Graph g = WcGraph();
+  const AlgorithmSpec* spec = FindAlgorithm("IMM");
+  FrameworkOptions options;
+  options.k = 5;
+  options.evaluation_simulations = 300;
+  const FrameworkResult result = RunImFramework(
+      g, *spec, DiffusionKind::kIndependentCascade, options);
+  bool found = false;
+  for (const double p : spec->parameter_spectrum) {
+    found |= (p == result.chosen.parameter);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(result.trials.size(), 1u);
+  EXPECT_LE(result.trials.size(), spec->parameter_spectrum.size());
+}
+
+TEST(ImFrameworkTest, ConvergencePrefersCheaperParameters) {
+  // IMM's quality on a tiny WC graph is flat across ε, so the framework
+  // should walk well past the most expensive setting.
+  Graph g = WcGraph();
+  const AlgorithmSpec* spec = FindAlgorithm("IMM");
+  FrameworkOptions options;
+  options.k = 5;
+  options.evaluation_simulations = 500;
+  const FrameworkResult result = RunImFramework(
+      g, *spec, DiffusionKind::kIndependentCascade, options);
+  EXPECT_GT(result.chosen.parameter, spec->parameter_spectrum.front());
+}
+
+TEST(ImFrameworkTest, TrialsRecordSelectionTimes) {
+  Graph g = WcGraph();
+  const AlgorithmSpec* spec = FindAlgorithm("EaSyIM");
+  FrameworkOptions options;
+  options.k = 3;
+  options.evaluation_simulations = 200;
+  const FrameworkResult result = RunImFramework(
+      g, *spec, DiffusionKind::kIndependentCascade, options);
+  for (const ParameterTrial& trial : result.trials) {
+    EXPECT_GE(trial.select_seconds, 0.0);
+    EXPECT_EQ(trial.seeds.size(), 3u);
+    EXPECT_EQ(trial.spread.simulations, 200u);
+  }
+}
+
+TEST(ImFrameworkDeathTest, UnsupportedModelAborts) {
+  Graph g = WcGraph();
+  const AlgorithmSpec* spec = FindAlgorithm("LDAG");
+  FrameworkOptions options;
+  EXPECT_DEATH(RunImFramework(g, *spec, DiffusionKind::kIndependentCascade,
+                              options),
+               "does not support");
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,114 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+void ExpectWellFormed(const EdgeList& list) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Arc& a : list.arcs) {
+    EXPECT_LT(a.source, list.num_nodes);
+    EXPECT_LT(a.target, list.num_nodes);
+    EXPECT_NE(a.source, a.target) << "self loop";
+    EXPECT_TRUE(seen.emplace(a.source, a.target).second) << "duplicate arc";
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiExactArcCount) {
+  Rng rng(1);
+  const EdgeList list = ErdosRenyi(100, 400, rng);
+  EXPECT_EQ(list.num_nodes, 100u);
+  EXPECT_EQ(list.arcs.size(), 400u);
+  ExpectWellFormed(list);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  Rng a(5), b(5);
+  const EdgeList x = ErdosRenyi(50, 100, a);
+  const EdgeList y = ErdosRenyi(50, 100, b);
+  EXPECT_EQ(x.arcs, y.arcs);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  Rng rng(2);
+  const EdgeList list = BarabasiAlbert(200, 3, rng);
+  EXPECT_EQ(list.num_nodes, 200u);
+  ExpectWellFormed(list);
+  // Expected arcs: seed clique C(4,2)=6 plus ~3 per remaining node.
+  EXPECT_GE(list.arcs.size(), 6u + 3u * 150u);
+
+  // Preferential attachment: max degree far above the mean.
+  std::vector<uint32_t> degree(200, 0);
+  for (const Arc& a : list.arcs) {
+    ++degree[a.source];
+    ++degree[a.target];
+  }
+  const uint32_t max_degree = *std::max_element(degree.begin(), degree.end());
+  const double avg = 2.0 * list.arcs.size() / 200.0;
+  EXPECT_GT(max_degree, 3 * avg);
+}
+
+TEST(GeneratorsTest, WattsStrogatzNoRewireIsRingLattice) {
+  Rng rng(3);
+  const EdgeList list = WattsStrogatz(30, 4, 0.0, rng);
+  EXPECT_EQ(list.arcs.size(), 30u * 2u);
+  ExpectWellFormed(list);
+  for (const Arc& a : list.arcs) {
+    const uint32_t gap = (a.target + 30 - a.source) % 30;
+    EXPECT_TRUE(gap == 1 || gap == 2) << a.source << "->" << a.target;
+  }
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewiringChangesEdges) {
+  Rng r1(4), r2(4);
+  const EdgeList lattice = WattsStrogatz(100, 4, 0.0, r1);
+  const EdgeList rewired = WattsStrogatz(100, 4, 0.5, r2);
+  ExpectWellFormed(rewired);
+  EXPECT_NE(lattice.arcs, rewired.arcs);
+}
+
+TEST(GeneratorsTest, ChungLuApproximatesArcCount) {
+  Rng rng(6);
+  const EdgeList list = ChungLu(300, 1200, 2.5, rng);
+  ExpectWellFormed(list);
+  EXPECT_GE(list.arcs.size(), 1000u);
+  EXPECT_LE(list.arcs.size(), 1200u);
+}
+
+TEST(GeneratorsTest, RmatProducesSkewedDegrees) {
+  Rng rng(7);
+  const EdgeList list = Rmat(512, 4000, RmatParams{}, rng);
+  ExpectWellFormed(list);
+  EXPECT_GE(list.arcs.size(), 3000u);
+  std::vector<uint32_t> out_degree(512, 0);
+  for (const Arc& a : list.arcs) ++out_degree[a.source];
+  const uint32_t max_degree =
+      *std::max_element(out_degree.begin(), out_degree.end());
+  EXPECT_GT(max_degree, 40u);  // heavy tail vs ~8 average
+}
+
+TEST(GeneratorsTest, RmatDeterministic) {
+  Rng a(8), b(8);
+  EXPECT_EQ(Rmat(128, 500, RmatParams{}, a).arcs,
+            Rmat(128, 500, RmatParams{}, b).arcs);
+}
+
+TEST(GeneratorsTest, RmatRespectsNonPowerOfTwoNodeCount) {
+  Rng rng(9);
+  const EdgeList list = Rmat(100, 300, RmatParams{}, rng);
+  ExpectWellFormed(list);  // includes id-range checks
+}
+
+TEST(GeneratorsDeathTest, RmatParamsMustSumToOne) {
+  Rng rng(1);
+  RmatParams bad;
+  bad.a = 0.9;
+  EXPECT_DEATH(Rmat(64, 100, bad, rng), "sum to 1");
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,75 @@
+#include "framework/memory.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "framework/metrics.h"
+
+namespace imbench {
+namespace {
+
+TEST(MemoryTest, AllocationIncreasesCurrent) {
+  const uint64_t before = CurrentHeapBytes();
+  auto block = std::make_unique<std::vector<char>>(1 << 20);
+  EXPECT_GE(CurrentHeapBytes(), before + (1 << 20));
+  block.reset();
+  EXPECT_LT(CurrentHeapBytes(), before + (1 << 20));
+}
+
+TEST(MemoryTest, PeakTracksHighWaterMark) {
+  ResetPeakHeapBytes();
+  const uint64_t base = PeakHeapBytes();
+  {
+    std::vector<char> big(4 << 20);
+    EXPECT_GE(PeakHeapBytes(), base + (4 << 20));
+  }
+  // Freed, but the peak remains.
+  EXPECT_GE(PeakHeapBytes(), base + (4 << 20));
+  ResetPeakHeapBytes();
+  EXPECT_LT(PeakHeapBytes(), base + (4 << 20));
+}
+
+TEST(MemoryTest, ArrayNewIsTracked) {
+  ResetPeakHeapBytes();
+  const uint64_t base = PeakHeapBytes();
+  // Direct operator calls: unlike new-expressions they cannot be elided.
+  void* arr = ::operator new[](1 << 20);
+  EXPECT_GE(PeakHeapBytes(), base + (1 << 20));
+  ::operator delete[](arr);
+}
+
+TEST(MemoryTest, AlignedNewIsTracked) {
+  ResetPeakHeapBytes();
+  const uint64_t base = PeakHeapBytes();
+  void* w = ::operator new(1 << 16, std::align_val_t{64});
+  EXPECT_GE(PeakHeapBytes(), base + (1 << 16));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(w) % 64, 0u);
+  ::operator delete(w, std::align_val_t{64});
+}
+
+TEST(RunMeterTest, MeasuresTimeAndWorkingMemory) {
+  RunMeter meter;
+  meter.Start();
+  std::vector<char> working(8 << 20);
+  working[0] = 1;
+  const Measurement m = meter.Stop();
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GE(m.peak_heap_bytes, uint64_t{8} << 20);
+}
+
+TEST(RunMeterTest, BaselineExcludesPriorAllocations) {
+  // Memory allocated before Start() must not count toward the run.
+  std::vector<char> pre(16 << 20);
+  pre[0] = 1;
+  RunMeter meter;
+  meter.Start();
+  std::vector<char> small(1 << 10);
+  small[0] = 1;
+  const Measurement m = meter.Stop();
+  EXPECT_LT(m.peak_heap_bytes, uint64_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,64 @@
+#include "diffusion/parallel_spread.h"
+
+#include <gtest/gtest.h>
+
+#include "framework/datasets.h"
+#include "graph/weights.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+TEST(ParallelSpreadTest, MatchesSequentialExactly) {
+  // Simulation i is pinned to stream i, so the parallel estimator must be
+  // bit-identical to the sequential one for any thread count.
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  const std::vector<NodeId> seeds = {1, 5, 9};
+  const SpreadEstimate sequential = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 500, /*seed=*/11);
+  for (const uint32_t threads : {1u, 2u, 3u, 8u}) {
+    const SpreadEstimate parallel = EstimateSpreadParallel(
+        g, DiffusionKind::kIndependentCascade, seeds, 500, 11, threads);
+    EXPECT_DOUBLE_EQ(parallel.mean, sequential.mean) << threads;
+    EXPECT_DOUBLE_EQ(parallel.stddev, sequential.stddev) << threads;
+  }
+}
+
+TEST(ParallelSpreadTest, LtModelSupported) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignLtUniform(g);
+  const std::vector<NodeId> seeds = {0, 2};
+  const SpreadEstimate sequential = EstimateSpread(
+      g, DiffusionKind::kLinearThreshold, seeds, 300, /*seed=*/5);
+  const SpreadEstimate parallel = EstimateSpreadParallel(
+      g, DiffusionKind::kLinearThreshold, seeds, 300, 5, 2);
+  EXPECT_DOUBLE_EQ(parallel.mean, sequential.mean);
+}
+
+TEST(ParallelSpreadTest, ZeroSimulations) {
+  Graph g = testutil::PathGraph(3, 1.0);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpreadParallel(
+      g, DiffusionKind::kIndependentCascade, seeds, 0, 1, 4);
+  EXPECT_EQ(est.simulations, 0u);
+}
+
+TEST(ParallelSpreadTest, MoreThreadsThanSimulations) {
+  Graph g = testutil::PathGraph(4, 1.0);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpreadParallel(
+      g, DiffusionKind::kIndependentCascade, seeds, 3, 1, 64);
+  EXPECT_DOUBLE_EQ(est.mean, 4.0);
+}
+
+TEST(ParallelSpreadTest, DefaultThreadCount) {
+  Graph g = testutil::HubGraph();
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpreadParallel(
+      g, DiffusionKind::kIndependentCascade, seeds, 200, 3, /*threads=*/0);
+  EXPECT_GT(est.mean, 1.0);
+}
+
+}  // namespace
+}  // namespace imbench

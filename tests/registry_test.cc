@@ -1,0 +1,141 @@
+#include "framework/registry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+TEST(RegistryTest, ContainsTheElevenBenchmarkedTechniques) {
+  // The suite of Fig. 3 (IMRank counted once per LFA depth).
+  const std::set<std::string> expected = {
+      "CELF", "CELF++", "TIM+",    "IMM",     "SG",      "PMC",
+      "LDAG", "SIMPATH", "IRIE",   "EaSyIM",  "IMRank1", "IMRank2"};
+  std::set<std::string> found;
+  for (const AlgorithmSpec& spec : AlgorithmRegistry()) {
+    if (spec.in_benchmark) found.insert(spec.name);
+  }
+  EXPECT_EQ(found, expected);
+}
+
+TEST(RegistryTest, ModelSupportMatchesTable5) {
+  struct Row {
+    const char* name;
+    bool ic;
+    bool lt;
+  };
+  const Row table5[] = {
+      {"CELF", true, true},    {"CELF++", true, true},
+      {"EaSyIM", true, true},  {"IMRank1", true, false},
+      {"IMRank2", true, false}, {"IRIE", true, false},
+      {"PMC", true, false},    {"SG", true, false},
+      {"TIM+", true, true},    {"IMM", true, true},
+      {"SIMPATH", false, true}, {"LDAG", false, true},
+  };
+  for (const Row& row : table5) {
+    const AlgorithmSpec* spec = FindAlgorithm(row.name);
+    ASSERT_NE(spec, nullptr) << row.name;
+    EXPECT_EQ(spec->supports_ic, row.ic) << row.name;
+    EXPECT_EQ(spec->supports_lt, row.lt) << row.name;
+    EXPECT_EQ(spec->Supports(DiffusionKind::kIndependentCascade), row.ic);
+    EXPECT_EQ(spec->Supports(DiffusionKind::kLinearThreshold), row.lt);
+  }
+}
+
+TEST(RegistryTest, Table2OptimalParameters) {
+  struct Row {
+    const char* name;
+    double ic, wc, lt;
+  };
+  const Row table2[] = {
+      {"CELF", 10000, 10000, 10000}, {"CELF++", 7500, 7500, 10000},
+      {"EaSyIM", 50, 50, 25},        {"IMRank1", 10, 10, -1},
+      {"IMRank2", 10, 10, -1},       {"PMC", 200, 250, -1},
+      {"SG", 250, 250, -1},          {"TIM+", 0.05, 0.15, 0.35},
+      {"IMM", 0.05, 0.1, 0.1},
+  };
+  for (const Row& row : table2) {
+    const AlgorithmSpec* spec = FindAlgorithm(row.name);
+    ASSERT_NE(spec, nullptr) << row.name;
+    EXPECT_DOUBLE_EQ(spec->OptimalParameterFor(WeightModel::kIcConstant),
+                     row.ic)
+        << row.name;
+    EXPECT_DOUBLE_EQ(spec->OptimalParameterFor(WeightModel::kWc), row.wc)
+        << row.name;
+    if (row.lt >= 0) {
+      EXPECT_DOUBLE_EQ(spec->OptimalParameterFor(WeightModel::kLtUniform),
+                       row.lt)
+          << row.name;
+    }
+  }
+}
+
+TEST(RegistryTest, ParameterSpectraSortedMostAccurateFirst) {
+  for (const AlgorithmSpec& spec : AlgorithmRegistry()) {
+    if (!spec.HasParameter()) {
+      EXPECT_TRUE(spec.parameter_spectrum.empty()) << spec.name;
+      continue;
+    }
+    ASSERT_FALSE(spec.parameter_spectrum.empty()) << spec.name;
+    const bool epsilon_like = spec.parameter_name == "epsilon";
+    for (size_t i = 1; i < spec.parameter_spectrum.size(); ++i) {
+      if (epsilon_like) {
+        EXPECT_LT(spec.parameter_spectrum[i - 1], spec.parameter_spectrum[i])
+            << spec.name;  // smaller ε = more accurate
+      } else {
+        EXPECT_GT(spec.parameter_spectrum[i - 1], spec.parameter_spectrum[i])
+            << spec.name;  // more simulations/snapshots/rounds = better
+      }
+    }
+  }
+}
+
+TEST(RegistryTest, EveryFactoryBuildsWithDefaultParameter) {
+  for (const AlgorithmSpec& spec : AlgorithmRegistry()) {
+    const auto algorithm = spec.make(kDefaultParameter);
+    ASSERT_NE(algorithm, nullptr) << spec.name;
+    // IMRank variants expose the LFA depth in the instance name.
+    if (spec.name != "IMRank1" && spec.name != "IMRank2") {
+      EXPECT_EQ(algorithm->name(), spec.name);
+    } else {
+      EXPECT_EQ(algorithm->name(), spec.name);
+    }
+  }
+}
+
+TEST(RegistryTest, FindAlgorithmUnknownReturnsNull) {
+  EXPECT_EQ(FindAlgorithm("NoSuchThing"), nullptr);
+}
+
+TEST(RegistryTest, MakeAlgorithmHonorsParameter) {
+  // Not directly observable via the interface, but must not crash for any
+  // point of each spectrum.
+  for (const AlgorithmSpec& spec : AlgorithmRegistry()) {
+    for (const double p : spec.parameter_spectrum) {
+      EXPECT_NE(MakeAlgorithm(spec.name, p), nullptr);
+    }
+  }
+}
+
+TEST(RegistryTest, DiffusionKindMapping) {
+  EXPECT_EQ(DiffusionKindFor(WeightModel::kIcConstant),
+            DiffusionKind::kIndependentCascade);
+  EXPECT_EQ(DiffusionKindFor(WeightModel::kWc),
+            DiffusionKind::kIndependentCascade);
+  EXPECT_EQ(DiffusionKindFor(WeightModel::kTrivalency),
+            DiffusionKind::kIndependentCascade);
+  EXPECT_EQ(DiffusionKindFor(WeightModel::kLtUniform),
+            DiffusionKind::kLinearThreshold);
+  EXPECT_EQ(DiffusionKindFor(WeightModel::kLtRandom),
+            DiffusionKind::kLinearThreshold);
+  EXPECT_EQ(DiffusionKindFor(WeightModel::kLtParallel),
+            DiffusionKind::kLinearThreshold);
+}
+
+TEST(RegistryDeathTest, MakeUnknownAborts) {
+  EXPECT_DEATH(MakeAlgorithm("bogus"), "unknown algorithm");
+}
+
+}  // namespace
+}  // namespace imbench

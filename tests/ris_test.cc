@@ -1,0 +1,100 @@
+#include "algorithms/ris.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/spread.h"
+#include "framework/datasets.h"
+#include "graph/weights.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+SelectionInput InputFor(const Graph& graph, uint32_t k, Counters* counters,
+                        DiffusionKind kind) {
+  SelectionInput input;
+  input.graph = &graph;
+  input.diffusion = kind;
+  input.k = k;
+  input.seed = 61;
+  input.counters = counters;
+  return input;
+}
+
+TEST(RisTest, PicksTheHub) {
+  Graph g = testutil::HubGraph();
+  Ris ris(RisOptions{});
+  Counters counters;
+  const SelectionResult result = ris.Select(
+      InputFor(g, 1, &counters, DiffusionKind::kIndependentCascade));
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_GT(counters.rr_sets, 0u);
+}
+
+TEST(RisTest, BudgetControlsSampleCount) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  Counters small_counters, large_counters;
+  RisOptions small_budget;
+  small_budget.budget_multiplier = 4;
+  RisOptions large_budget;
+  large_budget.budget_multiplier = 64;
+  Ris small(small_budget), large(large_budget);
+  small.Select(
+      InputFor(g, 5, &small_counters, DiffusionKind::kIndependentCascade));
+  large.Select(
+      InputFor(g, 5, &large_counters, DiffusionKind::kIndependentCascade));
+  EXPECT_GT(large_counters.rr_sets, 4 * small_counters.rr_sets);
+}
+
+TEST(RisTest, QualityComparableToRrSuccessors) {
+  // RIS with a generous budget should be within a few percent of the same
+  // max-cover machinery driven by TIM+/IMM sample sizes.
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  Ris ris(RisOptions{});
+  const SelectionResult result = ris.Select(
+      InputFor(g, 10, nullptr, DiffusionKind::kIndependentCascade));
+  const double spread =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
+                     2000, 1)
+          .mean;
+  EXPECT_GT(spread, 10.0);
+  std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RisTest, WorksUnderLt) {
+  Graph g = testutil::TwoStars(1.0);
+  AssignLtUniform(g);
+  Ris ris(RisOptions{});
+  const SelectionResult result =
+      ris.Select(InputFor(g, 2, nullptr, DiffusionKind::kLinearThreshold));
+  const std::set<NodeId> seeds(result.seeds.begin(), result.seeds.end());
+  EXPECT_TRUE(seeds.count(0) == 1);
+  EXPECT_TRUE(seeds.count(4) == 1);
+}
+
+TEST(RisTest, TerminatesOnEdgelessGraph) {
+  Graph g = Graph::FromArcs(5, {});
+  Ris ris(RisOptions{});
+  const SelectionResult result =
+      ris.Select(InputFor(g, 2, nullptr, DiffusionKind::kIndependentCascade));
+  EXPECT_EQ(result.seeds.size(), 2u);
+}
+
+TEST(RisTest, MemoryCapSetsOverBudget) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignConstantWeights(g, 0.3);
+  RisOptions options;
+  options.max_rr_entries = 10;
+  Ris ris(options);
+  const SelectionResult result =
+      ris.Select(InputFor(g, 3, nullptr, DiffusionKind::kIndependentCascade));
+  EXPECT_TRUE(result.over_budget);
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,104 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc |= rng.NextU64();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, NextU32RespectsBound) {
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t v = rng.NextU32(10);
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  // Every bucket occupied with a plausible count.
+  for (const int h : hits) EXPECT_GT(h, 700);
+}
+
+TEST(RngTest, NextU64BoundIsRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextU64(uint64_t{1} << 40), uint64_t{1} << 40);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, StreamsAreIndependentAndReproducible) {
+  Rng s0 = Rng::ForStream(99, 0);
+  Rng s0_again = Rng::ForStream(99, 0);
+  Rng s1 = Rng::ForStream(99, 1);
+  EXPECT_EQ(s0.NextU64(), s0_again.NextU64());
+  Rng a = Rng::ForStream(99, 0);
+  Rng b = Rng::ForStream(99, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 2);
+  (void)s1;
+}
+
+TEST(RngTest, SplitMix64AdvancesState) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,80 @@
+#include "graph/scc.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  Graph g = Graph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(scc.component[v], 0u);
+}
+
+TEST(SccTest, DagHasOneComponentPerNode) {
+  Graph g = Graph::FromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  std::set<NodeId> ids(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(SccTest, TwoCyclesWithBridge) {
+  // Cycle {0,1} -> bridge -> cycle {2,3}; plus isolated 4.
+  Graph g = Graph::FromArcs(5, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  EXPECT_NE(scc.component[4], scc.component[0]);
+  EXPECT_NE(scc.component[4], scc.component[2]);
+}
+
+TEST(SccTest, EmptyGraph) {
+  const SccResult scc = StronglyConnectedComponents(0, {0}, {});
+  EXPECT_EQ(scc.num_components, 0u);
+}
+
+TEST(SccTest, SelfContainedCsrOverload) {
+  // 0 -> 1 -> 2 and 2 -> 1 (so {1,2} is an SCC).
+  const std::vector<uint32_t> offsets = {0, 1, 2, 3};
+  const std::vector<NodeId> targets = {1, 2, 1};
+  const SccResult scc = StronglyConnectedComponents(3, offsets, targets);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[1]);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 50k-node chain exercises the iterative (non-recursive) DFS.
+  std::vector<Arc> arcs;
+  const NodeId n = 50000;
+  arcs.reserve(n - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) arcs.push_back(Arc{v, v + 1});
+  Graph g = Graph::FromArcs(n, std::move(arcs));
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(SccTest, ComponentIdsAreReverseTopological) {
+  // Condensation edges must go from higher to lower component id, as
+  // documented in the header (PMC's contraction relies on a valid order).
+  Graph g = Graph::FromArcs(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4},
+                                {4, 5}, {5, 3}});
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.OutTargets(u)) {
+      if (scc.component[u] != scc.component[v]) {
+        EXPECT_GT(scc.component[u], scc.component[v]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imbench

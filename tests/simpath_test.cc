@@ -1,0 +1,106 @@
+#include "algorithms/simpath.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/spread.h"
+#include "framework/datasets.h"
+#include "graph/weights.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+SelectionInput LtInput(const Graph& graph, uint32_t k) {
+  SelectionInput input;
+  input.graph = &graph;
+  input.diffusion = DiffusionKind::kLinearThreshold;
+  input.k = k;
+  input.seed = 43;
+  return input;
+}
+
+TEST(SimpathTest, SupportsOnlyLt) {
+  Simpath simpath(SimpathOptions{});
+  EXPECT_FALSE(simpath.Supports(DiffusionKind::kIndependentCascade));
+  EXPECT_TRUE(simpath.Supports(DiffusionKind::kLinearThreshold));
+}
+
+TEST(SimpathTest, ChainSpreadMatchesClosedForm) {
+  // σ({0}) on a 0.5-weighted chain = 1 + 0.5 + 0.25 + 0.125 = 1.875.
+  Graph g = testutil::PathGraph(4, 0.5);
+  SimpathOptions options;
+  options.eta = 1e-9;  // no truncation
+  Simpath simpath(options);
+  const SelectionResult result = simpath.Select(LtInput(g, 1));
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_NEAR(result.internal_spread_estimate, 1.875, 1e-9);
+}
+
+TEST(SimpathTest, EtaTruncatesLongPaths) {
+  Graph g = testutil::PathGraph(6, 0.5);
+  SimpathOptions options;
+  options.eta = 0.2;  // paths below product 0.2 are pruned
+  Simpath simpath(options);
+  const SelectionResult result = simpath.Select(LtInput(g, 1));
+  // Only the 0.5 and 0.25 path prefixes survive: 1 + 0.5 + 0.25 = 1.75.
+  EXPECT_NEAR(result.internal_spread_estimate, 1.75, 1e-9);
+}
+
+TEST(SimpathTest, PicksBothStarHubs) {
+  Graph g = testutil::TwoStars(1.0);
+  AssignLtUniform(g);
+  Simpath simpath(SimpathOptions{});
+  const SelectionResult result = simpath.Select(LtInput(g, 2));
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_EQ(result.seeds[1], 4u);
+}
+
+TEST(SimpathTest, MarginalGainsAccountForOverlap) {
+  // Diamond: 0 -> {1,2} -> 3 (LT-uniform). Once 0 is seeded, adding 1
+  // gains little; an unrelated star must win the second slot.
+  std::vector<Arc> arcs = {{0, 1}, {0, 2}, {1, 3}, {2, 3},
+                           {4, 5}, {4, 6}, {4, 7}};
+  Graph g = Graph::FromArcs(8, arcs);
+  AssignLtUniform(g);
+  Simpath simpath(SimpathOptions{});
+  const SelectionResult result = simpath.Select(LtInput(g, 2));
+  const std::set<NodeId> seeds(result.seeds.begin(), result.seeds.end());
+  EXPECT_TRUE(seeds.count(4) == 1);
+}
+
+TEST(SimpathTest, SimpleCycleDoesNotLoopForever) {
+  Graph g = Graph::FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  AssignLtUniform(g);
+  Simpath simpath(SimpathOptions{});
+  const SelectionResult result = simpath.Select(LtInput(g, 1));
+  // Simple paths only: 1 + 1 + 1 = 3 (each hop weight is 1 with indeg 1).
+  EXPECT_EQ(result.seeds.size(), 1u);
+  EXPECT_NEAR(result.internal_spread_estimate, 3.0, 1e-9);
+}
+
+TEST(SimpathTest, LookaheadOneStillCorrect) {
+  Graph g = testutil::TwoStars(1.0);
+  AssignLtUniform(g);
+  SimpathOptions options;
+  options.lookahead = 1;
+  Simpath simpath(options);
+  const SelectionResult result = simpath.Select(LtInput(g, 2));
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_EQ(result.seeds[1], 4u);
+}
+
+TEST(SimpathTest, AgreesWithMcEvaluationOnRealProfile) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignLtUniform(g);
+  Simpath simpath(SimpathOptions{});
+  const SelectionResult result = simpath.Select(LtInput(g, 5));
+  const double mc =
+      EstimateSpread(g, DiffusionKind::kLinearThreshold, result.seeds, 2000, 1)
+          .mean;
+  EXPECT_NEAR(result.internal_spread_estimate, mc, 0.25 * mc + 1.0);
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,95 @@
+#include "diffusion/spread.h"
+
+#include <gtest/gtest.h>
+#include "graph/weights.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+TEST(SpreadTest, DeterministicChainHasZeroVariance) {
+  Graph g = testutil::PathGraph(5, 1.0);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 200, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(est.mean, 5.0);
+  EXPECT_DOUBLE_EQ(est.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(est.StdError(), 0.0);
+  EXPECT_EQ(est.simulations, 200u);
+}
+
+TEST(SpreadTest, ReproducibleForSameSeed) {
+  Graph g = testutil::HubGraph();
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate a = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 500, /*seed=*/42);
+  const SpreadEstimate b = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 500, /*seed=*/42);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(SpreadTest, MeanBoundedBySeedsAndNodes) {
+  Graph g = testutil::HubGraph();
+  const std::vector<NodeId> seeds = {0, 3};
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 300, /*seed=*/7);
+  EXPECT_GE(est.mean, 2.0);
+  EXPECT_LE(est.mean, 7.0);
+}
+
+TEST(SpreadTest, MonotoneInSeedSet) {
+  // σ is monotone (Sec. 2.2): adding a seed cannot reduce expected spread.
+  Graph g = testutil::TwoStars(0.6);
+  const std::vector<NodeId> small = {0};
+  const std::vector<NodeId> larger = {0, 4};
+  const SpreadEstimate s = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, small, 2000, /*seed=*/3);
+  const SpreadEstimate l = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, larger, 2000, /*seed=*/3);
+  EXPECT_GT(l.mean, s.mean);
+}
+
+TEST(SpreadTest, HubSpreadMatchesClosedForm) {
+  // Hub 0 -> five children at p = 0.9 plus grandchild at 0.05 via node 5:
+  // E[Γ({0})] = 1 + 5·0.9 + 0.9·0.05 = 5.545.
+  Graph g = testutil::HubGraph(0.9, 0.05);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 20000, /*seed=*/5);
+  EXPECT_NEAR(est.mean, 5.545, 0.05);
+}
+
+TEST(SpreadTest, ScratchOverloadAgreesWithStreamOverload) {
+  Graph g = testutil::HubGraph();
+  const std::vector<NodeId> seeds = {0};
+  CascadeContext ctx(g.num_nodes());
+  Rng rng(17);
+  const SpreadEstimate a = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 3000, ctx, rng);
+  const SpreadEstimate b = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, 3000, /*seed=*/17);
+  EXPECT_NEAR(a.mean, b.mean, 0.2);  // same distribution, different streams
+}
+
+TEST(SpreadTest, ZeroSimulations) {
+  Graph g = testutil::PathGraph(3, 1.0);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds, 0, 1);
+  EXPECT_EQ(est.simulations, 0u);
+  EXPECT_DOUBLE_EQ(est.mean, 0.0);
+}
+
+TEST(SpreadTest, LtUniformSpreadWithinBounds) {
+  Graph g = testutil::TwoStars(1.0);
+  AssignLtUniform(g);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kLinearThreshold, seeds, 1000, /*seed=*/9);
+  // Star children have in-degree 1, weight 1 => always activated.
+  EXPECT_DOUBLE_EQ(est.mean, 4.0);
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,65 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+TEST(StatsTest, PathGraphBasics) {
+  // 0 - 1 - 2 - 3 - 4 (directed chain).
+  Graph g = Graph::FromArcs(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  Rng rng(1);
+  const GraphStats stats = ComputeStats(g, rng, 5);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_arcs, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.8);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_EQ(stats.largest_wcc_size, 5u);
+  // 90th percentile of chain distances lies between 2 and 4 hops.
+  EXPECT_GE(stats.effective_diameter_90, 2.0);
+  EXPECT_LE(stats.effective_diameter_90, 4.0);
+}
+
+TEST(StatsTest, StarGraph) {
+  Graph g = Graph::FromArcs(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  Rng rng(2);
+  const GraphStats stats = ComputeStats(g, rng, 5);
+  EXPECT_EQ(stats.max_out_degree, 4u);
+  // Weak diameter of a star is 2; the 90th percentile is at most that.
+  EXPECT_LE(stats.effective_diameter_90, 2.0);
+  EXPECT_EQ(stats.largest_wcc_size, 5u);
+}
+
+TEST(StatsTest, DisconnectedComponents) {
+  Graph g = Graph::FromArcs(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(LargestWeaklyConnectedComponent(g), 3u);
+  Rng rng(3);
+  const GraphStats stats = ComputeStats(g, rng, 6);
+  EXPECT_EQ(stats.largest_wcc_size, 3u);
+}
+
+TEST(StatsTest, WccIgnoresEdgeDirection) {
+  // 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+  Graph g = Graph::FromArcs(3, {{0, 1}, {2, 1}});
+  EXPECT_EQ(LargestWeaklyConnectedComponent(g), 3u);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  Graph g = Graph::FromArcs(0, {});
+  Rng rng(4);
+  const GraphStats stats = ComputeStats(g, rng);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.0);
+}
+
+TEST(StatsTest, SingletonNodes) {
+  Graph g = Graph::FromArcs(4, {});
+  Rng rng(5);
+  const GraphStats stats = ComputeStats(g, rng, 4);
+  EXPECT_EQ(stats.largest_wcc_size, 1u);
+  EXPECT_DOUBLE_EQ(stats.effective_diameter_90, 0.0);
+}
+
+}  // namespace
+}  // namespace imbench

@@ -1,0 +1,61 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace imbench {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // The value column starts at the same offset in every line.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t nl = out.find('\n'); nl != std::string::npos;
+       nl = out.find('\n', start)) {
+    lines.push_back(out.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  const size_t header_col = lines[0].find("value");
+  EXPECT_EQ(lines[2].find('1'), header_col);
+  EXPECT_EQ(lines[3].find("22"), header_col);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"x"});
+  EXPECT_NO_THROW(table.ToString());
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.14159, 4), "3.1416");
+  EXPECT_EQ(TextTable::Int(-42), "-42");
+}
+
+TEST(TextTableTest, SecsAdaptivePrecision) {
+  EXPECT_EQ(TextTable::Secs(0.00123), "0.0012");
+  EXPECT_EQ(TextTable::Secs(1.23456), "1.235");
+  EXPECT_EQ(TextTable::Secs(123.456), "123.5");
+}
+
+TEST(TextTableTest, MegaBytes) {
+  EXPECT_EQ(TextTable::MegaBytes(1'500'000), "1.50");
+  EXPECT_EQ(TextTable::MegaBytes(0), "0.00");
+}
+
+}  // namespace
+}  // namespace imbench

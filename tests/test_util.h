@@ -1,0 +1,48 @@
+// Shared fixtures: tiny hand-built graphs with known influence structure.
+#ifndef IMBENCH_TESTS_TEST_UTIL_H_
+#define IMBENCH_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/weights.h"
+
+namespace imbench {
+namespace testutil {
+
+// A 7-node "hub" graph: node 0 points at 1..5 (strongly), node 6 isolated
+// except for a weak edge 5 -> 6. Node 0 is unambiguously the best seed.
+inline Graph HubGraph(double hub_weight = 0.9, double weak_weight = 0.05) {
+  std::vector<Arc> arcs;
+  for (NodeId v = 1; v <= 5; ++v) arcs.push_back(Arc{0, v});
+  arcs.push_back(Arc{5, 6});
+  Graph g = Graph::FromArcs(7, arcs);
+  std::vector<double> w(g.num_edges(), hub_weight);
+  w.back() = weak_weight;  // edges sorted by source; (5,6) is last
+  g.SetWeights(w);
+  return g;
+}
+
+// Directed path 0 -> 1 -> 2 -> ... -> n-1 with uniform weight.
+inline Graph PathGraph(NodeId n, double weight) {
+  std::vector<Arc> arcs;
+  for (NodeId v = 0; v + 1 < n; ++v) arcs.push_back(Arc{v, v + 1});
+  Graph g = Graph::FromArcs(n, arcs);
+  std::vector<double> w(g.num_edges(), weight);
+  g.SetWeights(w);
+  return g;
+}
+
+// Two disjoint stars: 0 -> {1,2,3}, 4 -> {5,6}. Greedy should pick 0 then 4.
+inline Graph TwoStars(double weight = 1.0) {
+  std::vector<Arc> arcs = {{0, 1}, {0, 2}, {0, 3}, {4, 5}, {4, 6}};
+  Graph g = Graph::FromArcs(7, arcs);
+  std::vector<double> w(g.num_edges(), weight);
+  g.SetWeights(w);
+  return g;
+}
+
+}  // namespace testutil
+}  // namespace imbench
+
+#endif  // IMBENCH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,139 @@
+#include "graph/weights.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+#include "graph/generators.h"
+
+namespace imbench {
+namespace {
+
+Graph SmallGraph() {
+  return Graph::FromArcs(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}});
+}
+
+TEST(WeightsTest, ConstantAssignsEverywhere) {
+  Graph g = SmallGraph();
+  AssignConstantWeights(g, 0.1);
+  for (const double w : g.weights()) EXPECT_DOUBLE_EQ(w, 0.1);
+}
+
+TEST(WeightsTest, WeightedCascadeIsInverseInDegree) {
+  Graph g = SmallGraph();
+  AssignWeightedCascade(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const double w : g.InWeights(v)) {
+      EXPECT_DOUBLE_EQ(w, 1.0 / g.InDegree(v));
+    }
+  }
+}
+
+TEST(WeightsTest, TrivalencyDrawsFromThreeLevels) {
+  Rng gen(1);
+  EdgeList list = ErdosRenyi(50, 400, gen);
+  Graph g = Graph::FromArcs(list.num_nodes, list.arcs);
+  Rng rng(2);
+  AssignTrivalency(g, rng);
+  std::set<double> seen;
+  for (const double w : g.weights()) {
+    EXPECT_TRUE(w == 0.001 || w == 0.01 || w == 0.1);
+    seen.insert(w);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three levels appear at this size
+}
+
+TEST(WeightsTest, LtUniformSatisfiesConstraint) {
+  Graph g = SmallGraph();
+  AssignLtUniform(g);
+  EXPECT_TRUE(SatisfiesLtConstraint(g));
+  // Uniform: in-weights of every node sum to exactly 1 (when indeg > 0).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) > 0) {
+      EXPECT_NEAR(g.InWeightSum(v), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(WeightsTest, LtRandomNormalizesToOne) {
+  Rng gen(3);
+  EdgeList list = ErdosRenyi(40, 200, gen);
+  Graph g = Graph::FromArcs(list.num_nodes, list.arcs);
+  Rng rng(4);
+  AssignLtRandom(g, rng);
+  EXPECT_TRUE(SatisfiesLtConstraint(g));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) > 0) {
+      EXPECT_NEAR(g.InWeightSum(v), 1.0, 1e-9);
+    }
+  }
+  // Unlike uniform, weights within a node differ.
+  bool any_uneven = false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto w = g.InWeights(v);
+    for (size_t i = 1; i < w.size(); ++i) any_uneven |= (w[i] != w[0]);
+  }
+  EXPECT_TRUE(any_uneven);
+}
+
+TEST(WeightsTest, LtParallelEdgesUsesMultiplicities) {
+  // 3 parallel arcs 0->2 and 1 arc 1->2: W(0,2)=3/4, W(1,2)=1/4.
+  Graph g = Graph::FromArcs(3, {{0, 2}, {0, 2}, {0, 2}, {1, 2}});
+  AssignLtParallelEdges(g);
+  const auto sources = g.InSources(2);
+  const auto weights = g.InWeights(2);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_DOUBLE_EQ(weights[i], sources[i] == 0 ? 0.75 : 0.25);
+  }
+  EXPECT_TRUE(SatisfiesLtConstraint(g));
+}
+
+TEST(WeightsTest, LtParallelOnSimpleGraphEqualsUniform) {
+  Graph g = SmallGraph();
+  AssignLtParallelEdges(g);
+  Graph h = SmallGraph();
+  AssignLtUniform(h);
+  for (size_t i = 0; i < g.weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.weights()[i], h.weights()[i]);
+  }
+}
+
+TEST(WeightsTest, ConstraintViolationDetected) {
+  Graph g = SmallGraph();
+  AssignConstantWeights(g, 0.9);  // node 2 has in-degree 2 -> sum 1.8
+  EXPECT_FALSE(SatisfiesLtConstraint(g));
+}
+
+class AssignWeightsDispatchTest
+    : public ::testing::TestWithParam<WeightModel> {};
+
+TEST_P(AssignWeightsDispatchTest, DispatchAssignsAllEdges) {
+  Rng gen(5);
+  EdgeList list = ErdosRenyi(30, 150, gen);
+  Graph g = Graph::FromArcs(list.num_nodes, list.arcs);
+  Rng rng(6);
+  AssignWeights(g, GetParam(), 0.1, rng);
+  double sum = 0;
+  for (const double w : g.weights()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+    sum += w;
+  }
+  EXPECT_GT(sum, 0.0);
+  EXPECT_FALSE(WeightModelName(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, AssignWeightsDispatchTest,
+    ::testing::Values(WeightModel::kIcConstant, WeightModel::kWc,
+                      WeightModel::kTrivalency, WeightModel::kLtUniform,
+                      WeightModel::kLtRandom, WeightModel::kLtParallel),
+    [](const ::testing::TestParamInfo<WeightModel>& info) {
+      std::string name = WeightModelName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace imbench
