@@ -5,9 +5,16 @@
 //   --scale=tiny|bench|paper   dataset size (default bench)
 //   --seed=N                   RNG seed for graphs and algorithms
 //   --mc=N                     MC simulations for final spread evaluation
-//   --budget=SECONDS           per-cell time budget (over => DNF)
+//   --budget=SECONDS           enforced per-cell time budget (over => DNF)
+//   --mem-budget=MB            enforced per-cell heap cap (over => Crashed)
+//   --journal=PATH             results journal: finished cells are appended
+//                              and replayed on restart (crash-safe resume)
 //   --full                     paper-fidelity settings (slow!)
 //   --csv                      mirror tables as CSV to stdout
+//
+// Ctrl-C is graceful: the in-flight cell drains through the run guard, the
+// journal is flushed, and the harness prints whatever cells completed. A
+// second Ctrl-C kills the process immediately.
 #ifndef IMBENCH_BENCH_BENCH_UTIL_H_
 #define IMBENCH_BENCH_BENCH_UTIL_H_
 
@@ -18,6 +25,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "framework/experiment.h"
+#include "framework/run_guard.h"
 
 namespace imbench::benchutil {
 
@@ -26,6 +34,8 @@ struct CommonFlags {
   int64_t* seed;
   int64_t* mc;
   double* budget;
+  double* mem_budget;
+  std::string* journal;
   bool* full;
   bool* csv;
 };
@@ -38,8 +48,17 @@ inline CommonFlags AddCommonFlags(FlagSet& flags, int64_t default_mc = 1000,
                             "dataset scale: tiny|bench|paper");
   c.seed = flags.AddInt("seed", 7, "RNG seed");
   c.mc = flags.AddInt("mc", default_mc, "MC simulations for spread evaluation");
-  c.budget = flags.AddDouble("budget", default_budget,
-                             "per-cell time budget in seconds (over => DNF)");
+  c.budget = flags.AddDouble(
+      "budget", default_budget,
+      "enforced per-cell time budget in seconds (over => DNF with partial "
+      "seeds)");
+  c.mem_budget = flags.AddDouble(
+      "mem-budget", 0.0,
+      "enforced per-cell heap cap in MB, 0 = unlimited (over => Crashed)");
+  c.journal = flags.AddString(
+      "journal", "",
+      "results journal path: completed cells are appended and replayed on "
+      "restart, so interrupted grids resume where they stopped");
   c.full = flags.AddBool("full", false,
                          "paper-fidelity settings: all datasets, k to 200, "
                          "Table 2 parameters, 10K evaluation simulations");
@@ -54,6 +73,13 @@ inline WorkbenchOptions ToWorkbenchOptions(const CommonFlags& c) {
   options.evaluation_simulations =
       *c.full ? kReferenceSimulations : static_cast<uint32_t>(*c.mc);
   options.time_budget_seconds = *c.budget;
+  options.memory_budget_bytes =
+      static_cast<uint64_t>(*c.mem_budget * 1024.0 * 1024.0);
+  options.journal_path = *c.journal;
+  // Side effect: from here on the first Ctrl-C drains the current cell
+  // instead of killing the process.
+  InstallSigintCancel();
+  options.cancel = SigintCancelFlag();
   return options;
 }
 

@@ -12,7 +12,6 @@
 
 #include "algorithms/imm.h"
 #include "bench/bench_util.h"
-#include "framework/metrics.h"
 #include "framework/registry.h"
 
 using namespace imbench;
@@ -33,6 +32,7 @@ int main(int argc, char** argv) {
   std::vector<double> ps;
   for (const std::string& p : SplitCsv(*ps_flag)) ps.push_back(std::stod(p));
   const uint32_t seeds = static_cast<uint32_t>(*k);
+  const WeightModel model = WeightModel::kIcConstant;
 
   Banner("Extension: skyline techniques vs IC probability p");
   std::printf("(dataset %s, k=%u; watch IMM's memory cross the budget as p "
@@ -42,53 +42,34 @@ int main(int argc, char** argv) {
                    "IMM mem (MB)", "IMM status", "EaSyIM spread",
                    "EaSyIM time", "IRIE spread", "IRIE time"});
   for (const double p : ps) {
-    // Build one weighted graph per p and drive algorithms directly so every
-    // technique sees exactly the same weights.
-    const Graph& graph =
-        bench.GetGraph(*dataset, WeightModel::kIcConstant, p);
-    auto run_direct = [&](std::unique_ptr<ImAlgorithm> algorithm) {
-      SelectionInput input;
-      input.graph = &graph;
-      input.diffusion = DiffusionKind::kIndependentCascade;
-      input.k = seeds;
-      input.seed = bench.options().seed;
-      Counters counters;
-      input.counters = &counters;
-      RunMeter meter;
-      meter.Start();
-      SelectionResult selection = algorithm->Select(input);
-      const Measurement m = meter.Stop();
-      CellResult cell;
-      cell.seeds = std::move(selection.seeds);
-      cell.select_seconds = m.seconds;
-      cell.peak_heap_bytes = m.peak_heap_bytes;
-      if (selection.over_budget) {
-        cell.status = CellResult::Status::kOverBudget;
-      }
-      cell.spread = EstimateSpread(graph, input.diffusion, cell.seeds,
-                                   bench.options().evaluation_simulations,
-                                   bench.options().seed);
-      return cell;
-    };
-
-    const CellResult pmc = run_direct(MakeAlgorithm("PMC", 100));
+    if (bench.cancelled()) break;
+    // Every cell goes through Workbench::RunCell, so the time/memory
+    // budgets, DNF/Crashed statuses and the journal all apply here exactly
+    // as in the figure grids. The shared graph cache keys on p, so all four
+    // techniques see the same weights.
+    const CellResult pmc = bench.RunCell("PMC", *dataset, model, seeds,
+                                         /*parameter=*/100, p);
+    // IMM with the sweep's RR-entry budget needs an explicit instance (the
+    // registry parameter is ε); CellKey keeps it journal-resumable.
     ImmOptions imm_options;
     imm_options.epsilon = 0.5;
     imm_options.max_rr_entries = static_cast<uint64_t>(*rr_budget);
-    const CellResult imm = run_direct(std::make_unique<Imm>(imm_options));
-    const CellResult easy = run_direct(MakeAlgorithm("EaSyIM", 25));
-    const CellResult irie = run_direct(MakeAlgorithm("IRIE"));
+    Imm imm_instance(imm_options);
+    const CellResult imm = bench.RunCell(
+        imm_instance, *dataset, model, seeds, p,
+        bench.CellKey("IMM-rr" + std::to_string(*rr_budget), *dataset, model,
+                      seeds, imm_options.epsilon, p));
+    const CellResult easy = bench.RunCell("EaSyIM", *dataset, model, seeds,
+                                          /*parameter=*/25, p);
+    const CellResult irie = bench.RunCell("IRIE", *dataset, model, seeds,
+                                          kDefaultParameter, p);
 
     table.AddRow({TextTable::Num(p, 2), TextTable::Num(pmc.spread.mean, 1),
-                  TextTable::Secs(pmc.select_seconds),
-                  TextTable::Num(imm.spread.mean, 1),
-                  TextTable::Secs(imm.select_seconds),
-                  TextTable::MegaBytes(imm.peak_heap_bytes),
+                  TimeCell(pmc), TextTable::Num(imm.spread.mean, 1),
+                  TimeCell(imm), TextTable::MegaBytes(imm.peak_heap_bytes),
                   CellStatusName(imm.status),
-                  TextTable::Num(easy.spread.mean, 1),
-                  TextTable::Secs(easy.select_seconds),
-                  TextTable::Num(irie.spread.mean, 1),
-                  TextTable::Secs(irie.select_seconds)});
+                  TextTable::Num(easy.spread.mean, 1), TimeCell(easy),
+                  TextTable::Num(irie.spread.mean, 1), TimeCell(irie)});
   }
   EmitTable(table, *common.csv);
   std::printf(

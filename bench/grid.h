@@ -83,6 +83,9 @@ inline std::vector<GridCell> RunGrid(Workbench& bench,
         if (!spec.Supports(DiffusionKindFor(model))) continue;
         if (SkipCell(spec.name, dataset, model, full)) continue;
         for (const uint32_t k : ks) {
+          // Ctrl-C: stop launching cells; the caller prints the completed
+          // prefix and the journal (if any) lets the next run resume here.
+          if (bench.cancelled()) return cells;
           GridCell cell;
           cell.dataset = dataset;
           cell.model = model;
@@ -90,7 +93,10 @@ inline std::vector<GridCell> RunGrid(Workbench& bench,
           cell.k = k;
           cell.result = bench.RunCell(
               spec.name, dataset, model, k, GridParameter(spec, model, full));
+          const bool cancelled =
+              cell.result.status == CellResult::Status::kCancelled;
           cells.push_back(std::move(cell));
+          if (cancelled) return cells;
         }
       }
     }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "diffusion/cascade.h"
+#include "framework/run_guard.h"
 #include "graph/graph.h"
 
 namespace imbench {
@@ -35,6 +36,10 @@ struct SelectionInput {
   uint32_t k = 0;
   uint64_t seed = 1;           // RNG seed: runs are reproducible
   Counters* counters = nullptr;  // optional
+  // Optional run budget. Algorithms poll it from their hot loops; when it
+  // trips they return their best-effort partial seed set with the reason
+  // in SelectionResult::stop_reason instead of running to completion.
+  RunGuard* guard = nullptr;
 };
 
 // Output of a seed-selection run.
@@ -43,9 +48,12 @@ struct SelectionResult {
   // The algorithm's own estimate of σ(seeds); 0 when the technique does not
   // produce one. For TIM+/IMM this is the coverage-extrapolated spread.
   double internal_spread_estimate = 0;
-  // Set when the run exhausted its configured memory budget and returned a
-  // best-effort result (reported as "Crashed" in the paper's tables).
-  bool over_budget = false;
+  // Why the run stopped early; kNone for a complete run. kMemory covers
+  // both a RunBudget heap cap and the RR-set-family entry safety valves
+  // (reported as "Crashed" in the paper's tables).
+  StopReason stop_reason = StopReason::kNone;
+
+  bool complete() const { return stop_reason == StopReason::kNone; }
 };
 
 // Base class for all IM techniques (the M of Alg. 3).

@@ -21,8 +21,9 @@ SelectionResult Celf::Select(const SelectionInput& input) {
     candidate = seeds;
     candidate.push_back(v);
     CountSimulations(input.counters, options_.simulations);
-    const SpreadEstimate estimate = EstimateSpread(
-        graph, input.diffusion, candidate, options_.simulations, context, rng);
+    const SpreadEstimate estimate =
+        EstimateSpread(graph, input.diffusion, candidate, options_.simulations,
+                       context, rng, input.guard);
     return estimate.mean - current_spread;
   };
   auto commit = [&](NodeId v) {
@@ -32,13 +33,14 @@ SelectionResult Celf::Select(const SelectionInput& input) {
     // than storing each candidate's absolute spread.
     CountSimulations(input.counters, options_.simulations);
     current_spread = EstimateSpread(graph, input.diffusion, candidate,
-                                    options_.simulations, context, rng)
+                                    options_.simulations, context, rng,
+                                    input.guard)
                          .mean;
     seeds.push_back(v);
   };
-  result.seeds =
-      CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
-                 input.counters);
+  result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
+                            input.counters, input.guard);
+  result.stop_reason = GuardReason(input.guard);
   result.internal_spread_estimate = current_spread;
   return result;
 }

@@ -47,16 +47,21 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
     candidate = seeds;
     candidate.push_back(v);
     double sum1 = 0, sum2 = 0;
+    uint32_t done = 0;
     for (uint32_t i = 0; i < options_.simulations; ++i) {
+      if (GuardShouldStop(input.guard)) break;
       sum1 += context.Simulate(graph, input.diffusion, candidate, rng);
       if (with_best) {
         continuation[0] = cur_best;
         sum2 += context.Continue(graph, input.diffusion, continuation, rng);
       }
+      ++done;
     }
-    CountSimulations(input.counters, options_.simulations);
-    spread_v = sum1 / options_.simulations;
-    spread_v_best = with_best ? sum2 / options_.simulations : spread_v;
+    CountSimulations(input.counters, done);
+    // Normalize by the simulations that actually ran so a truncated batch
+    // still yields an unbiased (just noisier) estimate.
+    spread_v = done > 0 ? sum1 / done : 0;
+    spread_v_best = with_best && done > 0 ? sum2 / done : spread_v;
   };
 
   // Initial pass: mg1 = σ({v}); mg2 = σ({v, cur_best}) − σ({cur_best})
@@ -64,6 +69,7 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
   std::vector<Entry> heap;
   heap.reserve(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (GuardShouldStop(input.guard)) break;
     CountSpreadEvaluation(input.counters);
     const bool with_best = cur_best != kInvalidNode;
     double spread_v = 0, spread_v_best = 0;
@@ -83,9 +89,13 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
     std::pop_heap(heap.begin(), heap.end());
     Entry top = heap.back();
     heap.pop_back();
-    if (top.flag == seeds.size()) {
+    const bool stopped = GuardShouldStop(input.guard);
+    if (top.flag == seeds.size() || stopped) {
+      // Fresh entry, or draining: take the stale upper bound and skip the
+      // re-anchor simulations (their precision is moot for a partial run).
       seeds.push_back(top.node);
       last_seed = top.node;
+      if (stopped) continue;
       // Re-anchor σ(S) with a fresh estimate rather than accumulating the
       // selected gains: the max of noisy estimates is biased upward, and
       // letting that bias build up deflates every subsequent re-evaluated
@@ -128,6 +138,7 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
 
   SelectionResult result;
   result.seeds = std::move(seeds);
+  result.stop_reason = GuardReason(input.guard);
   result.internal_spread_estimate = current_spread;
   return result;
 }

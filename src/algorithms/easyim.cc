@@ -24,7 +24,8 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
   // skipping seeds (their influence is already banked).
   auto recompute_scores = [&]() {
     std::fill(prev.begin(), prev.end(), 0.0);
-    for (uint32_t t = 0; t < options_.path_length; ++t) {
+    for (uint32_t t = 0;
+         t < options_.path_length && !GuardShouldStop(input.guard); ++t) {
       for (NodeId v = 0; v < n; ++v) {
         if (is_seed[v]) {
           score[v] = 0.0;
@@ -51,6 +52,7 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
   std::vector<NodeId> with_candidate;
   double current_spread = 0;
   while (result.seeds.size() < input.k) {
+    if (GuardStopped(input.guard)) break;
     recompute_scores();
     // Collect the top-c scorers.
     const uint32_t c = std::max<uint32_t>(1, options_.candidates);
@@ -83,24 +85,38 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
       // Validate candidates with r MC simulations each.
       double best_spread = -1;
       for (const NodeId v : candidate_set) {
+        if (GuardShouldStop(input.guard)) break;
         with_candidate = result.seeds;
         with_candidate.push_back(v);
         CountSpreadEvaluation(input.counters);
         CountSimulations(input.counters, options_.simulations);
         const SpreadEstimate est =
             EstimateSpread(graph, input.diffusion, with_candidate,
-                           options_.simulations, context, rng);
+                           options_.simulations, context, rng, input.guard);
         if (est.mean > best_spread) {
           best_spread = est.mean;
           best = v;
         }
       }
-      current_spread = best_spread;
+      if (best == kInvalidNode) {
+        // Stopped before validating anyone: fall back to the score argmax
+        // so this round still yields a best-effort pick.
+        double best_score = -1;
+        for (const NodeId v : candidate_set) {
+          if (score[v] > best_score) {
+            best_score = score[v];
+            best = v;
+          }
+        }
+      } else {
+        current_spread = best_spread;
+      }
     }
-    IMBENCH_CHECK(best != kInvalidNode);
+    if (best == kInvalidNode) break;
     is_seed[best] = 1;
     result.seeds.push_back(best);
   }
+  result.stop_reason = GuardReason(input.guard);
   result.internal_spread_estimate = current_spread;
   return result;
 }

@@ -18,6 +18,7 @@ SelectionResult Greedy::Select(const SelectionInput& input) {
     NodeId best = kInvalidNode;
     double best_gain = -1;
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (GuardShouldStop(input.guard)) break;
       bool already_seed = false;
       for (const NodeId s : result.seeds) already_seed |= (s == v);
       if (already_seed) continue;
@@ -27,17 +28,27 @@ SelectionResult Greedy::Select(const SelectionInput& input) {
       CountSimulations(input.counters, options_.simulations);
       const SpreadEstimate estimate =
           EstimateSpread(graph, input.diffusion, candidate,
-                         options_.simulations, context, rng);
+                         options_.simulations, context, rng, input.guard);
       const double gain = estimate.mean - current_spread;
       if (gain > best_gain) {
         best_gain = gain;
         best = v;
       }
     }
+    if (GuardStopped(input.guard)) {
+      // Keep the best candidate scanned so far: even a pre-deadline sliver of
+      // the first round yields a non-empty best-effort seed set.
+      if (best != kInvalidNode) {
+        result.seeds.push_back(best);
+        current_spread += best_gain;
+      }
+      break;
+    }
     IMBENCH_CHECK(best != kInvalidNode);
     result.seeds.push_back(best);
     current_spread += best_gain;
   }
+  result.stop_reason = GuardReason(input.guard);
   result.internal_spread_estimate = current_spread;
   return result;
 }

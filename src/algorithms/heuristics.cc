@@ -42,6 +42,7 @@ SelectionResult DegreeDiscount::Select(const SelectionInput& input) {
 
   SelectionResult result;
   while (result.seeds.size() < input.k) {
+    if (GuardShouldStop(input.guard)) break;
     NodeId best = kInvalidNode;
     double best_score = -1;
     for (NodeId v = 0; v < n; ++v) {
@@ -61,6 +62,7 @@ SelectionResult DegreeDiscount::Select(const SelectionInput& input) {
       discounted[u] = d - 2 * t - (d - t) * t * options_.p;
     }
   }
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 
@@ -71,6 +73,9 @@ SelectionResult PageRankHeuristic::Select(const SelectionInput& input) {
   std::vector<double> rank(n, 1.0 / n);
   std::vector<double> next(n, 0.0);
   for (uint32_t iter = 0; iter < options_.iterations; ++iter) {
+    // Stopping early just ranks by a less-converged vector; the top-k is
+    // still complete.
+    if (GuardShouldStop(input.guard)) break;
     std::fill(next.begin(), next.end(), (1.0 - options_.damping) / n);
     double dangling = 0;
     for (NodeId v = 0; v < n; ++v) {
@@ -93,6 +98,7 @@ SelectionResult PageRankHeuristic::Select(const SelectionInput& input) {
   const std::vector<NodeId> order = RankByScore(rank);
   SelectionResult result;
   result.seeds.assign(order.begin(), order.begin() + input.k);
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

@@ -27,17 +27,25 @@ SelectionResult Imm::Select(const SelectionInput& input) {
   const double ell = options_.ell * (1.0 + std::log(2.0) / std::log(n));
 
   Rng rng = Rng::ForStream(input.seed, 0);
-  RrSampler sampler(graph, input.diffusion);
+  RrSampler sampler(graph, input.diffusion, input.guard);
   RrCollection sets(graph.num_nodes());
   std::vector<NodeId> scratch;
-  bool over_budget = false;
+  StopReason stop = StopReason::kNone;
 
   auto generate_until = [&](uint64_t target) {
-    while (sets.size() < target && !over_budget) {
+    while (sets.size() < target && stop == StopReason::kNone) {
+      if (GuardShouldStop(input.guard)) {
+        stop = GuardReason(input.guard);
+        break;
+      }
       sampler.Generate(rng, scratch);
       if (input.counters != nullptr) ++input.counters->rr_sets;
       sets.Add(scratch);
-      if (sets.TotalEntries() > options_.max_rr_entries) over_budget = true;
+      // The algorithm-local entry cap predates the run guard; drain it
+      // through the same StopReason so callers see one kind of truncation.
+      if (sets.TotalEntries() > options_.max_rr_entries) {
+        stop = StopReason::kMemory;
+      }
     }
   };
 
@@ -50,7 +58,8 @@ SelectionResult Imm::Select(const SelectionInput& input) {
       (log_comb + ell * std::log(n) + std::log(std::max(1.0, log2n))) * n /
       (eps_prime * eps_prime);
   double lower_bound = 1.0;
-  for (int i = 1; i < static_cast<int>(log2n) && !over_budget; ++i) {
+  for (int i = 1; i < static_cast<int>(log2n) && stop == StopReason::kNone;
+       ++i) {
     const double x = n / std::pow(2.0, i);
     const uint64_t theta_i =
         static_cast<uint64_t>(std::ceil(lambda_prime / x));
@@ -73,13 +82,16 @@ SelectionResult Imm::Select(const SelectionInput& input) {
       (eps * eps);
   const uint64_t theta =
       static_cast<uint64_t>(std::ceil(std::max(1.0, lambda_star / lower_bound)));
-  generate_until(theta);
+  if (stop == StopReason::kNone) generate_until(theta);
 
+  // Max cover over whatever corpus exists is the natural best effort: the
+  // seeds are still the greedy optimum for the sampled sets, just with a
+  // weaker approximation guarantee.
   SelectionResult result;
   double covered_fraction = 0;
   result.seeds = sets.GreedyMaxCover(k, &covered_fraction);
   result.internal_spread_estimate = covered_fraction * n;
-  result.over_budget = over_budget;
+  result.stop_reason = stop;
   return result;
 }
 

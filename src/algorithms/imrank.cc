@@ -53,10 +53,14 @@ SelectionResult ImRank::Select(const SelectionInput& input) {
   std::vector<double> mass(n);
   std::vector<NodeId> previous_topk;
   for (uint32_t round = 0; round < options_.scoring_rounds; ++round) {
+    // Even a zero-round run returns a full top-k from the degree ordering,
+    // so stopping here only costs ranking refinement, never seeds.
+    if (GuardShouldStop(input.guard)) break;
     if (input.counters != nullptr) ++input.counters->scoring_rounds;
     std::fill(mass.begin(), mass.end(), 1.0);
     for (uint32_t sweep = 0; sweep < std::max<uint32_t>(1, options_.l);
          ++sweep) {
+      if (GuardShouldStop(input.guard)) break;
       LfaSweep(graph, order, position, mass);
     }
     order = RankByScore(mass);
@@ -75,6 +79,7 @@ SelectionResult ImRank::Select(const SelectionInput& input) {
 
   SelectionResult result;
   result.seeds.assign(order.begin(), order.begin() + input.k);
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

@@ -58,9 +58,11 @@ SelectionResult Irie::Select(const SelectionInput& input) {
 
   SelectionResult result;
   while (result.seeds.size() < input.k) {
+    if (GuardShouldStop(input.guard)) break;
     // Rank iteration under the current AP discounts.
     std::fill(rank.begin(), rank.end(), 1.0);
-    for (uint32_t iter = 0; iter < options_.iterations; ++iter) {
+    for (uint32_t iter = 0;
+         iter < options_.iterations && !GuardShouldStop(input.guard); ++iter) {
       for (NodeId u = 0; u < n; ++u) {
         if (is_seed[u]) {
           next[u] = 0.0;
@@ -86,11 +88,15 @@ SelectionResult Irie::Select(const SelectionInput& input) {
         best = u;
       }
     }
-    IMBENCH_CHECK(best != kInvalidNode);
+    if (best == kInvalidNode) break;
     is_seed[best] = 1;
     result.seeds.push_back(best);
+    // Rank iteration already ran (possibly truncated); picking from it is
+    // valid, but don't start the AP propagation for a pick we won't refine.
+    if (GuardShouldStop(input.guard)) break;
     propagate_ap(best);
   }
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

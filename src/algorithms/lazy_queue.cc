@@ -22,11 +22,13 @@ struct Entry {
 std::vector<NodeId> CelfSelect(
     NodeId num_nodes, uint32_t k,
     const std::function<double(NodeId)>& marginal_gain,
-    const std::function<void(NodeId)>& commit, Counters* counters) {
+    const std::function<void(NodeId)>& commit, Counters* counters,
+    RunGuard* guard) {
   std::vector<Entry> heap;
   heap.reserve(num_nodes);
   // Round 0: evaluate every node once (the unavoidable first pass).
   for (NodeId v = 0; v < num_nodes; ++v) {
+    if (GuardShouldStop(guard)) break;
     CountSpreadEvaluation(counters);
     heap.push_back(Entry{marginal_gain(v), v, 0});
   }
@@ -38,9 +40,12 @@ std::vector<NodeId> CelfSelect(
     std::pop_heap(heap.begin(), heap.end());
     Entry top = heap.back();
     heap.pop_back();
-    if (top.round == seeds.size()) {
+    const bool stopped = GuardShouldStop(guard);
+    if (top.round == seeds.size() || stopped) {
+      // Fresh entry, or draining: accept the stale upper bound rather than
+      // spend more evaluations.
       seeds.push_back(top.node);
-      commit(top.node);
+      if (!stopped) commit(top.node);
       continue;
     }
     // Stale: refresh against the current seed set and reinsert.

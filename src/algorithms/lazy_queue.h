@@ -26,10 +26,18 @@ namespace imbench {
 //     its incremental state before the next round's evaluations.
 //
 // Returns the selected seeds (size min(k, num_nodes)).
+//
+// When `guard` is non-null it is polled between evaluations. Once tripped,
+// no further gains are evaluated: the initial pass stops where it is, and
+// the refresh loop degrades to accepting stale upper-bound gains (still a
+// sensible ranking under submodularity) so a fully-built queue can cheaply
+// fill the remaining slots. `commit` is not called for those degraded picks
+// since the caller's incremental state no longer matters.
 std::vector<NodeId> CelfSelect(
     NodeId num_nodes, uint32_t k,
     const std::function<double(NodeId)>& marginal_gain,
-    const std::function<void(NodeId)>& commit, Counters* counters);
+    const std::function<void(NodeId)>& commit, Counters* counters,
+    RunGuard* guard = nullptr);
 
 }  // namespace imbench
 

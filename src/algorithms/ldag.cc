@@ -191,6 +191,9 @@ SelectionResult Ldag::Select(const SelectionInput& input) {
   DagScratch scratch(n);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> member_of(n);
   for (NodeId v = 0; v < n; ++v) {
+    // A tripped budget leaves some nodes without a DAG: they simply score 0
+    // below, so selection still ranks whatever influence was computed.
+    if (GuardShouldStop(input.guard)) break;
     LocalDag dag = BuildLocalDag(graph, v, theta, scratch);
     const uint32_t dag_id = static_cast<uint32_t>(dags.size());
     for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
@@ -202,6 +205,7 @@ SelectionResult Ldag::Select(const SelectionInput& input) {
   std::vector<uint8_t> is_seed(n, 0);
   std::vector<double> inc_inf(n, 0.0);
   for (auto& dag : dags) {
+    if (GuardShouldStop(input.guard)) break;
     Solve(dag, is_seed);
     for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
       inc_inf[dag.nodes[i]] += dag.alpha[i] * (1.0 - dag.ap[i]);
@@ -219,11 +223,15 @@ SelectionResult Ldag::Select(const SelectionInput& input) {
         best = u;
       }
     }
-    IMBENCH_CHECK(best != kInvalidNode);
+    if (best == kInvalidNode) break;
     CountSpreadEvaluation(input.counters);
     total_influence += best_inf;
     is_seed[best] = 1;
     result.seeds.push_back(best);
+
+    // When draining, keep picking by the (now stale) scores — the scan above
+    // is cheap — but skip the expensive incremental re-solves.
+    if (GuardShouldStop(input.guard)) continue;
 
     // Incremental update: only the DAGs containing the new seed change.
     for (const auto& [dag_id, unused_local] : member_of[best]) {
@@ -239,6 +247,7 @@ SelectionResult Ldag::Select(const SelectionInput& input) {
     }
   }
   result.internal_spread_estimate = total_influence;
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

@@ -66,9 +66,18 @@ SelectionResult Pmc::Select(const SelectionInput& input) {
   std::vector<ContractedSnapshot> snapshots;
   snapshots.reserve(R);
   for (uint32_t i = 0; i < R; ++i) {
+    if (GuardShouldStop(input.guard)) break;
     const Snapshot snap = SampleSnapshot(graph, rng);
     snapshots.push_back(Contract(graph.num_nodes(), snap));
     if (input.counters != nullptr) ++input.counters->snapshots;
+  }
+  // Average over the snapshots actually sampled; a truncated run keeps the
+  // estimates unbiased, just noisier.
+  const uint32_t num_snapshots = static_cast<uint32_t>(snapshots.size());
+  if (num_snapshots == 0) {
+    SelectionResult result;
+    result.stop_reason = GuardReason(input.guard);
+    return result;
   }
 
   // Shared epoch-stamped BFS scratch over components (sized to the largest
@@ -111,19 +120,21 @@ SelectionResult Pmc::Select(const SelectionInput& input) {
   auto marginal_gain = [&](NodeId v) {
     uint64_t total = 0;
     for (auto& snap : snapshots) total += walk(snap, v, /*kill=*/false);
-    return static_cast<double>(total) / static_cast<double>(R);
+    return static_cast<double>(total) / static_cast<double>(num_snapshots);
   };
   double selected_spread = 0;
   auto commit = [&](NodeId v) {
     uint64_t total = 0;
     for (auto& snap : snapshots) total += walk(snap, v, /*kill=*/true);
-    selected_spread += static_cast<double>(total) / static_cast<double>(R);
+    selected_spread +=
+        static_cast<double>(total) / static_cast<double>(num_snapshots);
   };
 
   SelectionResult result;
   result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
-                            input.counters);
+                            input.counters, input.guard);
   result.internal_spread_estimate = selected_spread;
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

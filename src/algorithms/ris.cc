@@ -10,7 +10,7 @@ SelectionResult Ris::Select(const SelectionInput& input) {
   IMBENCH_CHECK(input.k >= 1 && input.k <= graph.num_nodes());
 
   Rng rng = Rng::ForStream(input.seed, 0);
-  RrSampler sampler(graph, input.diffusion);
+  RrSampler sampler(graph, input.diffusion, input.guard);
   RrCollection sets(graph.num_nodes());
   std::vector<NodeId> scratch;
 
@@ -19,22 +19,29 @@ SelectionResult Ris::Select(const SelectionInput& input) {
       options_.budget_multiplier *
       static_cast<double>(graph.num_edges() + graph.num_nodes());
   double examined = 0;
-  bool over_budget = false;
-  while (examined < budget && !over_budget) {
+  StopReason stop = StopReason::kNone;
+  while (examined < budget && stop == StopReason::kNone) {
+    if (GuardShouldStop(input.guard)) {
+      stop = GuardReason(input.guard);
+      break;
+    }
     // +1: even an isolated root costs a step, so the loop terminates on
     // edgeless graphs too.
     examined += static_cast<double>(sampler.Generate(rng, scratch)) + 1.0;
     if (input.counters != nullptr) ++input.counters->rr_sets;
     sets.Add(scratch);
-    if (sets.TotalEntries() > options_.max_rr_entries) over_budget = true;
+    if (sets.TotalEntries() > options_.max_rr_entries) {
+      stop = StopReason::kMemory;
+    }
   }
 
+  // Max cover over the partial corpus is still the best-effort answer.
   SelectionResult result;
   double covered_fraction = 0;
   result.seeds = sets.GreedyMaxCover(input.k, &covered_fraction);
   result.internal_spread_estimate =
       covered_fraction * static_cast<double>(graph.num_nodes());
-  result.over_budget = over_budget;
+  result.stop_reason = stop;
   return result;
 }
 

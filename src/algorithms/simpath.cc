@@ -14,9 +14,10 @@ namespace {
 // what the look-ahead optimization needs to form σ^{V−c}(S) in one pass.
 class PathEnumerator {
  public:
-  PathEnumerator(const Graph& graph, double eta)
+  PathEnumerator(const Graph& graph, double eta, RunGuard* guard)
       : graph_(graph),
         eta_(eta),
+        guard_(guard),
         on_path_(graph.num_nodes(), 0),
         banned_(graph.num_nodes(), 0),
         cand_slot_(graph.num_nodes(), -1) {}
@@ -45,6 +46,14 @@ class PathEnumerator {
     frames_.push_back(Frame{root, 0, 1.0, false});
     on_path_[root] = 1;
     while (!frames_.empty()) {
+      if (GuardShouldStop(guard_)) {
+        // Abandon the enumeration mid-path: unwind the stack so on_path_
+        // stays consistent for any later (equally truncated) calls.
+        for (const Frame& f : frames_) on_path_[f.node] = 0;
+        frames_.clear();
+        active_slots_.clear();
+        break;
+      }
       Frame& frame = frames_.back();
       const auto targets = graph_.OutTargets(frame.node);
       const auto weights = graph_.OutWeights(frame.node);
@@ -82,6 +91,7 @@ class PathEnumerator {
 
   const Graph& graph_;
   double eta_;
+  RunGuard* guard_;
   std::vector<uint8_t> on_path_;
   std::vector<uint8_t> banned_;
   std::vector<int32_t> cand_slot_;
@@ -108,13 +118,14 @@ SelectionResult Simpath::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   const NodeId n = graph.num_nodes();
-  PathEnumerator enumerator(graph, options_.eta);
+  PathEnumerator enumerator(graph, options_.eta, input.guard);
 
   // First pass: σ({v}) for every node (no vertex-cover shortcut; see
   // header). These are exact under the η truncation, so CELF applies.
   std::vector<CelfEntry> heap;
   heap.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
+    if (GuardShouldStop(input.guard)) break;
     CountSpreadEvaluation(input.counters);
     heap.push_back(CelfEntry{enumerator.Enumerate(v), v, 0});
   }
@@ -129,8 +140,9 @@ SelectionResult Simpath::Select(const SelectionInput& input) {
     std::pop_heap(heap.begin(), heap.end());
     CelfEntry top = heap.back();
     heap.pop_back();
-    if (top.round == seeds.size()) {
-      // Fresh top entry: select it.
+    if (top.round == seeds.size() || GuardShouldStop(input.guard)) {
+      // Fresh top entry — or draining, in which case the stale upper bound
+      // is the best ranking we can afford.
       seeds.push_back(top.node);
       sigma_s += top.gain;
       continue;
@@ -191,6 +203,7 @@ SelectionResult Simpath::Select(const SelectionInput& input) {
   SelectionResult result;
   result.seeds = std::move(seeds);
   result.internal_spread_estimate = sigma_s;
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

@@ -17,13 +17,22 @@ SelectionResult StaticGreedy::Select(const SelectionInput& input) {
   std::vector<Snapshot> snapshots;
   snapshots.reserve(R);
   for (uint32_t i = 0; i < R; ++i) {
+    if (GuardShouldStop(input.guard)) break;
     snapshots.push_back(SampleSnapshot(graph, rng));
     if (input.counters != nullptr) ++input.counters->snapshots;
+  }
+  // Work with however many snapshots were actually sampled; averaging by
+  // the real count keeps the estimates unbiased on a truncated run.
+  const uint32_t num_snapshots = static_cast<uint32_t>(snapshots.size());
+  if (num_snapshots == 0) {
+    SelectionResult result;
+    result.stop_reason = GuardReason(input.guard);
+    return result;
   }
 
   // covered[i][v]: v is already reached by the seed set in snapshot i.
   std::vector<std::vector<uint8_t>> covered(
-      R, std::vector<uint8_t>(graph.num_nodes(), 0));
+      num_snapshots, std::vector<uint8_t>(graph.num_nodes(), 0));
   // Epoch-stamped BFS scratch shared across snapshots.
   std::vector<uint32_t> visited(graph.num_nodes(), 0);
   uint32_t epoch = 0;
@@ -54,13 +63,15 @@ SelectionResult StaticGreedy::Select(const SelectionInput& input) {
 
   auto marginal_gain = [&](NodeId v) {
     uint64_t total = 0;
-    for (uint32_t i = 0; i < R; ++i) total += reach_uncovered(i, v);
-    return static_cast<double>(total) / static_cast<double>(R);
+    for (uint32_t i = 0; i < num_snapshots; ++i) {
+      total += reach_uncovered(i, v);
+    }
+    return static_cast<double>(total) / static_cast<double>(num_snapshots);
   };
   double selected_spread = 0;
   auto commit = [&](NodeId v) {
     uint64_t total = 0;
-    for (uint32_t i = 0; i < R; ++i) {
+    for (uint32_t i = 0; i < num_snapshots; ++i) {
       const Snapshot& snap = snapshots[i];
       auto& cov = covered[i];
       if (cov[v]) continue;
@@ -78,13 +89,15 @@ SelectionResult StaticGreedy::Select(const SelectionInput& input) {
         }
       }
     }
-    selected_spread += static_cast<double>(total) / static_cast<double>(R);
+    selected_spread +=
+        static_cast<double>(total) / static_cast<double>(num_snapshots);
   };
 
   SelectionResult result;
   result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
-                            input.counters);
+                            input.counters, input.guard);
   result.internal_spread_estimate = selected_spread;
+  result.stop_reason = GuardReason(input.guard);
   return result;
 }
 

@@ -25,10 +25,10 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
   IMBENCH_CHECK(k >= 1 && k <= graph.num_nodes());
   const double eps = options_.epsilon;
   const double ell = options_.ell;
-  over_budget_ = false;
+  last_stop_ = StopReason::kNone;
 
   Rng rng = Rng::ForStream(input.seed, 0);
-  RrSampler sampler(graph, input.diffusion);
+  RrSampler sampler(graph, input.diffusion, input.guard);
   std::vector<NodeId> scratch;
 
   auto count_rr = [&](uint64_t c = 1) {
@@ -46,6 +46,10 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
     RrCollection sample(graph.num_nodes());
     double kappa_sum = 0;
     for (uint64_t j = 0; j < num_sets; ++j) {
+      if (GuardShouldStop(input.guard)) {
+        last_stop_ = GuardReason(input.guard);
+        break;
+      }
       const uint64_t width = sampler.Generate(rng, scratch);
       count_rr();
       // κ(R) = 1 − (1 − w(R)/m)^k where w(R) is the number of arcs
@@ -54,12 +58,12 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
       kappa_sum += 1.0 - std::pow(1.0 - p, static_cast<double>(k));
       sample.Add(scratch);
       if (sample.TotalEntries() > options_.max_rr_entries) {
-        over_budget_ = true;
+        last_stop_ = StopReason::kMemory;
         break;
       }
     }
     kpt_sets = std::move(sample);
-    if (over_budget_) break;
+    if (last_stop_ != StopReason::kNone) break;
     if (kappa_sum / static_cast<double>(num_sets) > 1.0 / std::pow(2.0, i)) {
       kpt = n * kappa_sum / (2.0 * static_cast<double>(num_sets));
       break;
@@ -68,7 +72,7 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
 
   // --- Phase 1b: KPT refinement (the "+"). ---
   double kpt_plus = kpt;
-  if (!over_budget_ && kpt_sets.size() > 0) {
+  if (last_stop_ == StopReason::kNone && kpt_sets.size() > 0) {
     const std::vector<NodeId> rough_seeds = kpt_sets.GreedyMaxCover(k);
     const double eps_prime =
         5.0 * std::cbrt(ell * eps * eps / (ell + static_cast<double>(k)));
@@ -82,6 +86,10 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
     std::vector<uint8_t> is_seed(graph.num_nodes(), 0);
     for (const NodeId s : rough_seeds) is_seed[s] = 1;
     for (uint64_t j = 0; j < refine_sets; ++j) {
+      if (GuardShouldStop(input.guard)) {
+        last_stop_ = GuardReason(input.guard);
+        break;
+      }
       sampler.Generate(rng, scratch);
       count_rr();
       for (const NodeId v : scratch) {
@@ -105,19 +113,26 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
       static_cast<uint64_t>(std::ceil(std::max(1.0, lambda / kpt_plus)));
 
   RrCollection sets(graph.num_nodes());
-  for (uint64_t j = 0; j < theta && !over_budget_; ++j) {
+  for (uint64_t j = 0; j < theta && last_stop_ == StopReason::kNone; ++j) {
+    if (GuardShouldStop(input.guard)) {
+      last_stop_ = GuardReason(input.guard);
+      break;
+    }
     sampler.Generate(rng, scratch);
     count_rr();
     sets.Add(scratch);
-    if (sets.TotalEntries() > options_.max_rr_entries) over_budget_ = true;
+    if (sets.TotalEntries() > options_.max_rr_entries) {
+      last_stop_ = StopReason::kMemory;
+    }
   }
 
+  // Best effort on truncation: greedy max cover over the partial corpus.
   SelectionResult result;
   double covered_fraction = 0;
   result.seeds = sets.GreedyMaxCover(k, &covered_fraction);
   // Extrapolated spread (Appendix A): fraction of covered sets scaled by n.
   result.internal_spread_estimate = covered_fraction * n;
-  result.over_budget = over_budget_;
+  result.stop_reason = last_stop_;
   return result;
 }
 

@@ -36,13 +36,15 @@ class TimPlus : public ImAlgorithm {
   bool Supports(DiffusionKind) const override { return true; }
   SelectionResult Select(const SelectionInput& input) override;
 
-  // True when the last Select() aborted after exhausting max_rr_entries
-  // (reported as "Crashed" in the paper's tables).
-  bool last_run_over_budget() const { return over_budget_; }
+  // True when the last Select() aborted after exhausting max_rr_entries or
+  // tripping a memory budget (reported as "Crashed" in the paper's tables).
+  bool last_run_over_budget() const {
+    return last_stop_ == StopReason::kMemory;
+  }
 
  private:
   TimPlusOptions options_;
-  bool over_budget_ = false;
+  StopReason last_stop_ = StopReason::kNone;
 };
 
 }  // namespace imbench

@@ -12,6 +12,8 @@ SpreadEstimate EstimateSpreadParallel(const Graph& graph, DiffusionKind kind,
                                       std::span<const NodeId> seeds,
                                       uint32_t simulations, uint64_t seed,
                                       uint32_t threads) {
+  // σ(∅) = 0 exactly; don't spin up workers for pointless simulations.
+  if (seeds.empty()) return SpreadEstimate{};
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }

@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "framework/run_guard.h"
 
 namespace imbench {
 
-RrSampler::RrSampler(const Graph& graph, DiffusionKind kind)
-    : graph_(graph), kind_(kind), visited_stamp_(graph.num_nodes(), 0) {}
+RrSampler::RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard)
+    : graph_(graph),
+      kind_(kind),
+      guard_(guard),
+      visited_stamp_(graph.num_nodes(), 0) {}
 
 uint64_t RrSampler::Generate(Rng& rng, std::vector<NodeId>& out) {
   return GenerateFromRoot(rng.NextU32(graph_.num_nodes()), rng, out);
@@ -32,6 +36,7 @@ uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng,
   visited_stamp_[root] = epoch_;
   out.push_back(root);
   for (size_t head = 0; head < out.size(); ++head) {
+    if (GuardShouldStop(guard_)) break;  // truncated set: run is draining
     const NodeId v = out[head];
     const auto sources = graph_.InSources(v);
     const auto weights = graph_.InWeights(v);
@@ -57,7 +62,7 @@ uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng,
   visited_stamp_[root] = epoch_;
   out.push_back(root);
   NodeId v = root;
-  while (true) {
+  while (!GuardShouldStop(guard_)) {
     const auto sources = graph_.InSources(v);
     const auto weights = graph_.InWeights(v);
     if (sources.empty()) break;

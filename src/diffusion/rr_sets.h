@@ -24,10 +24,15 @@
 
 namespace imbench {
 
-// Generates RR sets one at a time with reusable scratch.
+class RunGuard;
+
+// Generates RR sets one at a time with reusable scratch. When `guard` is
+// non-null it is polled inside the reverse BFS/walk, so even a single
+// exploding RR set (supercritical IC) cannot overrun a budget: generation
+// stops mid-set and the truncated set is returned.
 class RrSampler {
  public:
-  RrSampler(const Graph& graph, DiffusionKind kind);
+  RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard = nullptr);
 
   // Samples an RR set rooted at a uniform random node; appends its members
   // (root included) to `out` (cleared first). Returns the number of edges
@@ -43,6 +48,7 @@ class RrSampler {
 
   const Graph& graph_;
   DiffusionKind kind_;
+  RunGuard* guard_;
   uint32_t epoch_ = 0;
   std::vector<uint32_t> visited_stamp_;
 };

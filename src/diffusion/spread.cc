@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "framework/run_guard.h"
+
 namespace imbench {
 namespace {
 
@@ -33,6 +35,9 @@ double SpreadEstimate::StdError() const {
 SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               uint32_t simulations, uint64_t seed) {
+  // σ(∅) = 0 exactly; skip the r pointless simulations (a cell cancelled
+  // before its first pick reaches here with no seeds).
+  if (seeds.empty()) return SpreadEstimate{};
   CascadeContext context(graph.num_nodes());
   std::vector<NodeId> samples;
   samples.reserve(simulations);
@@ -46,10 +51,12 @@ SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
 SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               uint32_t simulations, CascadeContext& context,
-                              Rng& rng) {
+                              Rng& rng, RunGuard* guard) {
+  if (seeds.empty()) return SpreadEstimate{};
   std::vector<NodeId> samples;
   samples.reserve(simulations);
   for (uint32_t i = 0; i < simulations; ++i) {
+    if (GuardShouldStop(guard)) break;
     samples.push_back(context.Simulate(graph, kind, seeds, rng));
   }
   return Aggregate(samples);

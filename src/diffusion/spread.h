@@ -11,6 +11,8 @@
 
 namespace imbench {
 
+class RunGuard;
+
 // Number of MC simulations Kempe et al. recommend and the study adopts for
 // final spread evaluation (Sec. 5.1 "Computing expected spread").
 inline constexpr uint32_t kReferenceSimulations = 10000;
@@ -26,16 +28,19 @@ struct SpreadEstimate {
 
 // Runs `simulations` cascades of `seeds` and aggregates Γ(S). Deterministic
 // in (seed, simulations): simulation i uses stream Rng::ForStream(seed, i).
+// An empty seed set short-circuits to a zero estimate (0 simulations).
 SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               uint32_t simulations, uint64_t seed);
 
 // As above but reuses caller scratch (for tight greedy loops) and a live
-// Rng stream instead of per-simulation streams.
+// Rng stream instead of per-simulation streams. When `guard` is non-null it
+// is polled once per simulation; a tripped budget stops early and the
+// partial sample is aggregated (best-effort estimate for a draining run).
 SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               uint32_t simulations, CascadeContext& context,
-                              Rng& rng);
+                              Rng& rng, RunGuard* guard = nullptr);
 
 }  // namespace imbench
 

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "framework/journal.h"
 #include "framework/metrics.h"
+#include "framework/run_guard.h"
 
 namespace imbench {
 
@@ -17,8 +19,23 @@ const char* CellStatusName(CellResult::Status status) {
       return "Crashed";
     case CellResult::Status::kUnsupported:
       return "NA";
+    case CellResult::Status::kCancelled:
+      return "Cancelled";
   }
   return "?";
+}
+
+Workbench::Workbench(const WorkbenchOptions& options) : options_(options) {
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<ResultJournal>(options_.journal_path);
+  }
+}
+
+Workbench::~Workbench() = default;
+
+bool Workbench::cancelled() const {
+  return options_.cancel != nullptr &&
+         options_.cancel->load(std::memory_order_relaxed);
 }
 
 const Graph& Workbench::GetGraph(const std::string& dataset,
@@ -36,9 +53,23 @@ const Graph& Workbench::GetGraph(const std::string& dataset,
   return graphs_.emplace(key, std::move(graph)).first->second;
 }
 
+std::string Workbench::CellKey(const std::string& algorithm,
+                               const std::string& dataset, WeightModel model,
+                               uint32_t k, double parameter,
+                               double ic_probability) const {
+  char suffix[160];
+  std::snprintf(suffix, sizeof(suffix),
+                "/k=%u/param=%.9g/p=%.9g/scale=%d/seed=%llu/mc=%u", k,
+                parameter, ic_probability, static_cast<int>(options_.scale),
+                static_cast<unsigned long long>(options_.seed),
+                options_.evaluation_simulations);
+  return algorithm + "/" + dataset + "/" + WeightModelName(model) + suffix;
+}
+
 CellResult Workbench::RunCell(const std::string& algorithm,
                               const std::string& dataset, WeightModel model,
-                              uint32_t k, double parameter) {
+                              uint32_t k, double parameter,
+                              double ic_probability) {
   const AlgorithmSpec* spec = FindAlgorithm(algorithm);
   IMBENCH_CHECK_MSG(spec != nullptr, "unknown algorithm '%s'",
                     algorithm.c_str());
@@ -49,19 +80,28 @@ CellResult Workbench::RunCell(const std::string& algorithm,
   }
   if (std::isnan(parameter)) parameter = spec->OptimalParameterFor(model);
   std::unique_ptr<ImAlgorithm> instance = spec->make(parameter);
-  return RunCell(*instance, dataset, model, k);
+  return RunCell(*instance, dataset, model, k, ic_probability,
+                 CellKey(algorithm, dataset, model, k, parameter,
+                         ic_probability));
 }
 
 CellResult Workbench::RunCell(ImAlgorithm& algorithm,
                               const std::string& dataset, WeightModel model,
-                              uint32_t k) {
+                              uint32_t k, double ic_probability,
+                              const std::string& journal_key) {
   CellResult result;
   const DiffusionKind kind = DiffusionKindFor(model);
   if (!algorithm.Supports(kind)) {
     result.status = CellResult::Status::kUnsupported;
     return result;
   }
-  const Graph& graph = GetGraph(dataset, model);
+  // Journal replay: a previous run already finished this exact cell.
+  if (journal_ != nullptr && !journal_key.empty()) {
+    if (const CellResult* replayed = journal_->Find(journal_key)) {
+      return *replayed;
+    }
+  }
+  const Graph& graph = GetGraph(dataset, model, ic_probability);
 
   SelectionInput input;
   input.graph = &graph;
@@ -70,8 +110,16 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
   input.seed = options_.seed;
   input.counters = &result.counters;
 
+  RunBudget budget;
+  budget.deadline_seconds = options_.time_budget_seconds;
+  budget.max_heap_bytes = options_.memory_budget_bytes;
+  budget.cancel = options_.cancel;
+
   RunMeter meter;
   meter.Start();
+  // Armed after Start so the deadline measures the same span the meter does.
+  RunGuard guard(budget);
+  input.guard = &guard;
   SelectionResult selection = algorithm.Select(input);
   const Measurement measurement = meter.Stop();
 
@@ -79,17 +127,41 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
   result.internal_estimate = selection.internal_spread_estimate;
   result.select_seconds = measurement.seconds;
   result.peak_heap_bytes = measurement.peak_heap_bytes;
-  if (selection.over_budget) {
-    result.status = CellResult::Status::kOverBudget;
-  } else if (measurement.seconds > options_.time_budget_seconds) {
-    result.status = CellResult::Status::kDnf;
+  result.stop_reason = selection.stop_reason;
+  switch (selection.stop_reason) {
+    case StopReason::kNone:
+      // Backstop for algorithms that finished without ever observing the
+      // guard trip (e.g. the final poll landed between strides).
+      if (measurement.seconds > options_.time_budget_seconds) {
+        result.status = CellResult::Status::kDnf;
+        result.stop_reason = StopReason::kDeadline;
+      }
+      break;
+    case StopReason::kDeadline:
+      result.status = CellResult::Status::kDnf;
+      break;
+    case StopReason::kMemory:
+      result.status = CellResult::Status::kOverBudget;
+      break;
+    case StopReason::kCancelled:
+      result.status = CellResult::Status::kCancelled;
+      break;
   }
   // Spread computation phase (Sec. 5.1): decoupled MC evaluation so every
   // technique is compared from the same standpoint. Still evaluated for
-  // DNF/over-budget cells — their best-effort seeds are informative.
-  result.spread = EstimateSpread(graph, kind, result.seeds,
-                                 options_.evaluation_simulations,
-                                 options_.seed ^ 0x5f12ead0c0ffeeULL);
+  // DNF/over-budget cells — their best-effort seeds are informative — but
+  // skipped on cancellation, where the user is waiting for the exit.
+  if (result.status != CellResult::Status::kCancelled) {
+    result.spread = EstimateSpread(graph, kind, result.seeds,
+                                   options_.evaluation_simulations,
+                                   options_.seed ^ 0x5f12ead0c0ffeeULL);
+  }
+  // Journal everything except cancelled cells: a cancelled cell is an
+  // artifact of when Ctrl-C landed, and the resumed run should redo it.
+  if (journal_ != nullptr && !journal_key.empty() &&
+      result.status != CellResult::Status::kCancelled) {
+    journal_->Append(journal_key, result);
+  }
   return result;
 }
 

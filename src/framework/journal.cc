@@ -1,0 +1,165 @@
+#include "framework/journal.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace imbench {
+namespace {
+
+// Field order of one journal line (tab-separated):
+//   key, status, stop_reason, select_seconds, peak_heap_bytes,
+//   spread_mean, spread_stddev, spread_simulations, internal_estimate,
+//   seeds (comma-separated node ids, "-" when empty)
+constexpr size_t kFieldCount = 10;
+
+bool ParseStatus(const std::string& name, CellResult::Status& out) {
+  if (name == "OK") {
+    out = CellResult::Status::kOk;
+  } else if (name == "DNF") {
+    out = CellResult::Status::kDnf;
+  } else if (name == "Crashed") {
+    out = CellResult::Status::kOverBudget;
+  } else if (name == "NA") {
+    out = CellResult::Status::kUnsupported;
+  } else if (name == "Cancelled") {
+    out = CellResult::Status::kCancelled;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseReason(const std::string& name, StopReason& out) {
+  if (name == "none") {
+    out = StopReason::kNone;
+  } else if (name == "deadline") {
+    out = StopReason::kDeadline;
+  } else if (name == "memory") {
+    out = StopReason::kMemory;
+  } else if (name == "cancelled") {
+    out = StopReason::kCancelled;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+// Parses one journal line; returns false (skipping the line) on any
+// malformed field so a torn tail or a hand-edited file degrades to
+// "recompute that cell" rather than aborting the run.
+bool ParseLine(const std::string& line, std::string& key, CellResult& result) {
+  const std::vector<std::string> fields = SplitTabs(line);
+  if (fields.size() != kFieldCount) return false;
+  key = fields[0];
+  if (key.empty()) return false;
+  result = CellResult();
+  if (!ParseStatus(fields[1], result.status)) return false;
+  if (!ParseReason(fields[2], result.stop_reason)) return false;
+
+  char* end = nullptr;
+  result.select_seconds = std::strtod(fields[3].c_str(), &end);
+  if (end == fields[3].c_str()) return false;
+  result.peak_heap_bytes = std::strtoull(fields[4].c_str(), &end, 10);
+  if (end == fields[4].c_str()) return false;
+  result.spread.mean = std::strtod(fields[5].c_str(), &end);
+  if (end == fields[5].c_str()) return false;
+  result.spread.stddev = std::strtod(fields[6].c_str(), &end);
+  if (end == fields[6].c_str()) return false;
+  result.spread.simulations =
+      static_cast<uint32_t>(std::strtoul(fields[7].c_str(), &end, 10));
+  if (end == fields[7].c_str()) return false;
+  result.internal_estimate = std::strtod(fields[8].c_str(), &end);
+  if (end == fields[8].c_str()) return false;
+
+  if (fields[9] != "-") {
+    const char* cursor = fields[9].c_str();
+    while (*cursor != '\0') {
+      const unsigned long long id = std::strtoull(cursor, &end, 10);
+      if (end == cursor) return false;
+      result.seeds.push_back(static_cast<NodeId>(id));
+      cursor = (*end == ',') ? end + 1 : end;
+      if (end == cursor && *end != '\0') return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultJournal::ResultJournal(const std::string& path) {
+  if (path.empty()) return;
+  // Replay pass: read whatever previous runs completed.
+  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
+    std::string line;
+    char buffer[4096];
+    while (std::fgets(buffer, sizeof(buffer), existing) != nullptr) {
+      line += buffer;
+      if (line.empty() || line.back() != '\n') continue;  // long line: keep
+      line.pop_back();
+      if (!line.empty() && line.front() != '#') {
+        std::string key;
+        CellResult result;
+        if (ParseLine(line, key, result)) {
+          results_[key] = std::move(result);
+        }
+      }
+      line.clear();
+    }
+    std::fclose(existing);
+  }
+  const bool fresh = results_.empty();
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ != nullptr && fresh) {
+    std::fprintf(file_,
+                 "# imbench results journal: key status reason seconds "
+                 "peak_bytes mean stddev sims internal seeds\n");
+    std::fflush(file_);
+  }
+}
+
+ResultJournal::~ResultJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+const CellResult* ResultJournal::Find(const std::string& key) const {
+  const auto it = results_.find(key);
+  return it != results_.end() ? &it->second : nullptr;
+}
+
+void ResultJournal::Append(const std::string& key, const CellResult& result) {
+  if (file_ == nullptr) return;
+  std::string seeds;
+  for (const NodeId s : result.seeds) {
+    if (!seeds.empty()) seeds += ',';
+    seeds += std::to_string(s);
+  }
+  if (seeds.empty()) seeds = "-";
+  std::fprintf(file_,
+               "%s\t%s\t%s\t%.17g\t%" PRIu64 "\t%.17g\t%.17g\t%u\t%.17g\t%s\n",
+               key.c_str(), CellStatusName(result.status),
+               StopReasonName(result.stop_reason), result.select_seconds,
+               result.peak_heap_bytes, result.spread.mean,
+               result.spread.stddev, result.spread.simulations,
+               result.internal_estimate, seeds.c_str());
+  // One flush per cell: a crash between cells never loses a finished one.
+  std::fflush(file_);
+  results_[key] = result;
+}
+
+}  // namespace imbench

@@ -1,0 +1,113 @@
+// Enforceable run budgets (the paper's 40-hour / 256 GB cutoffs, Sec. 5).
+//
+// A RunBudget caps one seed-selection run by wall-clock deadline, working
+// heap bytes, and an external cancel flag (Ctrl-C). Algorithms poll a
+// RunGuard from their hot loops via ShouldStop(); when a budget trips they
+// stop gracefully and return their best-effort partial seed set tagged with
+// the StopReason. This makes DNF cells cost *at most* the budget instead of
+// "however long the run takes" — the difference between an advisory and an
+// enforceable cutoff.
+//
+// ShouldStop() is amortized: most calls are a single counter decrement.
+// Every stride-th call reads the clock / heap counters and adapts the
+// stride so the expensive check happens roughly once per millisecond of
+// work, whether the poll site is a micro-loop (one RR-set BFS step) or a
+// macro-loop (one 10K-simulation marginal-gain estimate).
+#ifndef IMBENCH_FRAMEWORK_RUN_GUARD_H_
+#define IMBENCH_FRAMEWORK_RUN_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "common/timer.h"
+
+namespace imbench {
+
+// Why a guarded run stopped before completing its full workload.
+enum class StopReason : uint8_t {
+  kNone = 0,    // ran to completion
+  kDeadline,    // wall-clock budget exhausted (paper: "DNF")
+  kMemory,      // heap / RR-entry budget exhausted (paper: "Crashed")
+  kCancelled,   // external cancel flag raised (Ctrl-C)
+};
+
+const char* StopReasonName(StopReason reason);
+
+// Limits for one guarded run. Defaults are all "unlimited".
+struct RunBudget {
+  // Wall-clock seconds from the guard's construction.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  // Heap bytes above the level at the guard's construction; 0 = unlimited.
+  uint64_t max_heap_bytes = 0;
+  // External cancellation (e.g. SigintCancelFlag()); null = none.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// Cheap amortized budget poll. Construct armed with a budget right before
+// the guarded work; a default-constructed guard is unarmed and never stops.
+// Not thread-safe: one guard per selection run, polled from its thread.
+class RunGuard {
+ public:
+  RunGuard() = default;  // unarmed
+  explicit RunGuard(const RunBudget& budget);
+
+  // True once any budget has tripped; the first true is sticky. Amortized
+  // O(1): a full check runs only every stride-th call.
+  bool ShouldStop() {
+    if (reason_ != StopReason::kNone) return true;
+    if (!armed_) return false;
+    if (--countdown_ > 0) return false;
+    return CheckNow();
+  }
+
+  bool stopped() const { return reason_ != StopReason::kNone; }
+  StopReason reason() const { return reason_; }
+  double elapsed_seconds() const { return timer_.Seconds(); }
+
+  // Trips the guard manually (used when a non-guard limit, e.g. an RR-entry
+  // cap, fires and the run should drain through the same path).
+  void Trip(StopReason reason) {
+    if (reason_ == StopReason::kNone) reason_ = reason;
+  }
+
+ private:
+  // Bounds for the adaptive poll stride.
+  static constexpr uint32_t kMaxStride = 4096;
+
+  bool CheckNow();
+
+  RunBudget budget_;
+  Timer timer_;
+  uint64_t baseline_heap_bytes_ = 0;
+  uint32_t stride_ = 1;
+  uint32_t countdown_ = 1;
+  double last_check_seconds_ = 0;
+  bool armed_ = false;
+  StopReason reason_ = StopReason::kNone;
+};
+
+// Null-tolerant helpers so algorithms can poll an optional guard without
+// branching on nullptr at every site.
+inline bool GuardShouldStop(RunGuard* guard) {
+  return guard != nullptr && guard->ShouldStop();
+}
+inline bool GuardStopped(const RunGuard* guard) {
+  return guard != nullptr && guard->stopped();
+}
+inline StopReason GuardReason(const RunGuard* guard) {
+  return guard != nullptr ? guard->reason() : StopReason::kNone;
+}
+
+// Process-wide cancel flag for Ctrl-C draining. InstallSigintCancel()
+// installs a SIGINT handler that raises the flag (first Ctrl-C: the current
+// cell drains, journals flush, partial tables print) and then restores the
+// default disposition (second Ctrl-C: die immediately). Idempotent.
+const std::atomic<bool>* SigintCancelFlag();
+void InstallSigintCancel();
+// Test hook: raise / clear the flag without delivering a signal.
+void SetSigintCancelForTest(bool value);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_FRAMEWORK_RUN_GUARD_H_

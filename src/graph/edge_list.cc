@@ -1,14 +1,67 @@
 #include "graph/edge_list.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 
 namespace imbench {
+namespace {
+
+// Trims the trailing newline for error messages.
+std::string TrimmedLine(const char* line) {
+  std::string s(line);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+void SetError(EdgeListError* error, uint64_t line_number, const char* line,
+              const std::string& message) {
+  if (error == nullptr) return;
+  error->line = line_number;
+  error->content = line != nullptr ? TrimmedLine(line) : std::string();
+  error->message = message;
+}
+
+// A SNAP edge line may not contain a negative id; sscanf's %llu silently
+// wraps "-3" to a huge value, so reject a leading '-' on either field.
+bool HasNegativeField(const char* line) {
+  const char* p = line;
+  for (int field = 0; field < 2; ++field) {
+    while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '-') return true;
+    while (*p != '\0' && !std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EdgeListError::Format(const std::string& path) const {
+  std::string out = path;
+  if (line > 0) {
+    out += ":";
+    out += std::to_string(line);
+  }
+  out += ": ";
+  out += message;
+  if (!content.empty()) {
+    out += " [";
+    out += content;
+    out += "]";
+  }
+  return out;
+}
 
 std::optional<EdgeList> LoadEdgeList(const std::string& path,
-                                     std::vector<uint64_t>* original_ids) {
+                                     std::vector<uint64_t>* original_ids,
+                                     EdgeListError* error) {
   std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) return std::nullopt;
+  if (file == nullptr) {
+    SetError(error, 0, nullptr, "cannot open file");
+    return std::nullopt;
+  }
 
   EdgeList list;
   std::unordered_map<uint64_t, NodeId> dense;
@@ -20,14 +73,41 @@ std::optional<EdgeList> LoadEdgeList(const std::string& path,
   };
 
   char line[256];
+  uint64_t line_number = 0;
   bool ok = true;
   while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_number;
+    const size_t len = std::strlen(line);
+    if (len + 1 == sizeof(line) && line[len - 1] != '\n') {
+      SetError(error, line_number, line, "line exceeds 255 characters");
+      ok = false;
+      break;
+    }
     if (line[0] == '#' || line[0] == '%' || line[0] == '\n' ||
         line[0] == '\r') {
       continue;
     }
+    if (HasNegativeField(line)) {
+      SetError(error, line_number, line, "negative node id");
+      ok = false;
+      break;
+    }
     unsigned long long u = 0, v = 0;
-    if (std::sscanf(line, "%llu %llu", &u, &v) != 2) {
+    double weight = 1.0;
+    const int parsed = std::sscanf(line, "%llu %llu %lf", &u, &v, &weight);
+    if (parsed < 2) {
+      SetError(error, line_number, line,
+               "expected 'source target [weight]', got a truncated or "
+               "non-numeric line");
+      ok = false;
+      break;
+    }
+    // A third column, when present, must be a sane probability: weights are
+    // assigned later by the weight models, but a corrupt column is the
+    // classic symptom of a mangled download and should fail loudly here.
+    if (parsed == 3 && (!std::isfinite(weight) || weight < 0.0)) {
+      SetError(error, line_number, line,
+               "edge weight must be a finite non-negative value");
       ok = false;
       break;
     }

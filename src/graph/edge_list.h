@@ -20,11 +20,27 @@ struct EdgeList {
   std::vector<Arc> arcs;
 };
 
-// Loads a SNAP-style edge list. Returns std::nullopt on IO or parse error.
-// Original ids are densified; `original_ids`, when non-null, receives the
-// original id of each dense node.
+// Diagnostic for a rejected edge-list file: which line broke and why, so a
+// bad dataset fails one cell with an actionable message instead of a bare
+// nullopt (or worse, a whole-run abort).
+struct EdgeListError {
+  uint64_t line = 0;     // 1-based; 0 = file-level error (e.g. open failed)
+  std::string content;   // offending line, trimmed of the trailing newline
+  std::string message;
+
+  // "path:line: message [content]" -- ready to print.
+  std::string Format(const std::string& path) const;
+};
+
+// Loads a SNAP-style edge list. Returns std::nullopt on IO or parse error,
+// filling `error` (when non-null) with the offending line and reason.
+// Rejected inputs: unparseable/truncated lines, negative node ids, lines
+// longer than the read buffer, and an optional third weight column that is
+// not a finite value in [0, 1]. Original ids are densified; `original_ids`,
+// when non-null, receives the original id of each dense node.
 std::optional<EdgeList> LoadEdgeList(
-    const std::string& path, std::vector<uint64_t>* original_ids = nullptr);
+    const std::string& path, std::vector<uint64_t>* original_ids = nullptr,
+    EdgeListError* error = nullptr);
 
 // Writes `list` in the same format. Returns false on IO error.
 bool SaveEdgeList(const std::string& path, const EdgeList& list);

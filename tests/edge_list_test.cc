@@ -48,13 +48,73 @@ TEST(EdgeListTest, TabSeparatedAccepted) {
 }
 
 TEST(EdgeListTest, MissingFileReturnsNullopt) {
-  EXPECT_FALSE(LoadEdgeList("/nonexistent/path/graph.txt").has_value());
+  EdgeListError error;
+  EXPECT_FALSE(
+      LoadEdgeList("/nonexistent/path/graph.txt", nullptr, &error).has_value());
+  EXPECT_EQ(error.line, 0u);
+  EXPECT_NE(error.message.find("open"), std::string::npos);
 }
 
 TEST(EdgeListTest, MalformedLineReturnsNullopt) {
   const std::string path = TempPath("bad.txt");
   WriteFile(path, "0 1\nnot numbers\n");
   EXPECT_FALSE(LoadEdgeList(path).has_value());
+}
+
+TEST(EdgeListTest, MalformedLineReportsLineNumberAndContent) {
+  const std::string path = TempPath("bad_diag.txt");
+  WriteFile(path, "# header\n0 1\n1 2\nnot numbers\n2 3\n");
+  EdgeListError error;
+  EXPECT_FALSE(LoadEdgeList(path, nullptr, &error).has_value());
+  EXPECT_EQ(error.line, 4u);
+  EXPECT_EQ(error.content, "not numbers");
+  const std::string formatted = error.Format(path);
+  EXPECT_NE(formatted.find(path + ":4"), std::string::npos);
+  EXPECT_NE(formatted.find("not numbers"), std::string::npos);
+}
+
+TEST(EdgeListTest, TruncatedLineRejected) {
+  const std::string path = TempPath("truncated.txt");
+  WriteFile(path, "0 1\n17\n");
+  EdgeListError error;
+  EXPECT_FALSE(LoadEdgeList(path, nullptr, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+}
+
+TEST(EdgeListTest, NegativeIdRejected) {
+  const std::string path = TempPath("negative.txt");
+  WriteFile(path, "0 1\n-3 4\n");
+  EdgeListError error;
+  EXPECT_FALSE(LoadEdgeList(path, nullptr, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("negative"), std::string::npos);
+}
+
+TEST(EdgeListTest, BadWeightColumnRejected) {
+  const std::string path = TempPath("badweight.txt");
+  WriteFile(path, "0 1 0.5\n1 2 nan\n");
+  EdgeListError error;
+  EXPECT_FALSE(LoadEdgeList(path, nullptr, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("weight"), std::string::npos);
+}
+
+TEST(EdgeListTest, ValidWeightColumnAccepted) {
+  const std::string path = TempPath("goodweight.txt");
+  WriteFile(path, "0 1 0.5\n1 2 1.0\n");
+  const auto list = LoadEdgeList(path);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->arcs.size(), 2u);
+}
+
+TEST(EdgeListTest, OverlongLineRejected) {
+  const std::string path = TempPath("overlong.txt");
+  std::string line(300, '1');  // one huge pseudo-number, no newline in buffer
+  WriteFile(path, "0 1\n" + line + " 2\n");
+  EdgeListError error;
+  EXPECT_FALSE(LoadEdgeList(path, nullptr, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("255"), std::string::npos);
 }
 
 TEST(EdgeListTest, SaveLoadRoundTrip) {

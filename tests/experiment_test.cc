@@ -1,8 +1,13 @@
 #include "framework/experiment.h"
 
+#include <atomic>
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "algorithms/imrank.h"
+#include "framework/run_guard.h"
 
 namespace imbench {
 namespace {
@@ -14,6 +19,27 @@ WorkbenchOptions TinyOptions() {
   options.time_budget_seconds = 60;
   return options;
 }
+
+// Stub technique whose per-seed work never finishes on its own: only the
+// run guard can interrupt it. Each pick appends one seed before blocking,
+// so a tripped run always carries at least one best-effort seed.
+class SlowPollAlgorithm : public ImAlgorithm {
+ public:
+  std::string name() const override { return "SlowPoll"; }
+  bool Supports(DiffusionKind) const override { return true; }
+
+  SelectionResult Select(const SelectionInput& input) override {
+    SelectionResult result;
+    for (NodeId v = 0; v < input.k; ++v) {
+      result.seeds.push_back(v);
+      while (!GuardShouldStop(input.guard)) {
+      }
+      result.stop_reason = GuardReason(input.guard);
+      break;
+    }
+    return result;
+  }
+};
 
 TEST(WorkbenchTest, GraphCachingReturnsSameInstance) {
   Workbench bench(TinyOptions());
@@ -60,7 +86,117 @@ TEST(WorkbenchTest, TimeBudgetMarksDnf) {
   const CellResult result =
       bench.RunCell("IRIE", "nethept", WeightModel::kWc, 3);
   EXPECT_EQ(result.status, CellResult::Status::kDnf);
-  EXPECT_EQ(result.seeds.size(), 3u);  // best-effort seeds still reported
+  EXPECT_EQ(result.stop_reason, StopReason::kDeadline);
+  // The guard stops selection cooperatively, so whatever seeds were picked
+  // before the trip are reported — possibly none at budget zero.
+  EXPECT_LE(result.seeds.size(), 3u);
+}
+
+TEST(WorkbenchTest, SlowAlgorithmReturnsPartialSeedsOnDeadline) {
+  WorkbenchOptions options = TinyOptions();
+  options.time_budget_seconds = 0.05;
+  Workbench bench(options);
+  SlowPollAlgorithm slow;
+  const CellResult result =
+      bench.RunCell(slow, "nethept", WeightModel::kWc, 5);
+  EXPECT_EQ(result.status, CellResult::Status::kDnf);
+  EXPECT_EQ(result.stop_reason, StopReason::kDeadline);
+  EXPECT_GE(result.seeds.size(), 1u);  // best-effort partial seeds
+  EXPECT_LT(result.seeds.size(), 5u);
+  // Cooperative cancellation means the run costs roughly the budget, not
+  // "however long selection takes"; allow generous slack for slow CI.
+  EXPECT_LT(result.select_seconds, 2.0);
+}
+
+TEST(WorkbenchTest, MemoryBudgetMarksOverBudget) {
+  WorkbenchOptions options = TinyOptions();
+  options.memory_budget_bytes = 32 * 1024;  // tiny heap allowance
+  Workbench bench(options);
+  const CellResult result =
+      bench.RunCell("IMM", "nethept", WeightModel::kWc, 10);
+  EXPECT_EQ(result.status, CellResult::Status::kOverBudget);
+  EXPECT_EQ(result.stop_reason, StopReason::kMemory);
+}
+
+TEST(WorkbenchTest, CancelFlagMarksCellCancelled) {
+  std::atomic<bool> cancel{true};
+  WorkbenchOptions options = TinyOptions();
+  options.cancel = &cancel;
+  Workbench bench(options);
+  EXPECT_TRUE(bench.cancelled());
+  const CellResult result =
+      bench.RunCell("IRIE", "nethept", WeightModel::kWc, 3);
+  EXPECT_EQ(result.status, CellResult::Status::kCancelled);
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+}
+
+TEST(WorkbenchTest, CellKeyEncodesAllInputs) {
+  Workbench bench(TinyOptions());
+  const std::string base =
+      bench.CellKey("IMM", "nethept", WeightModel::kWc, 5, 0.1);
+  EXPECT_NE(base, bench.CellKey("IMM", "nethept", WeightModel::kWc, 6, 0.1));
+  EXPECT_NE(base, bench.CellKey("IMM", "nethept", WeightModel::kWc, 5, 0.2));
+  EXPECT_NE(base, bench.CellKey("TIM+", "nethept", WeightModel::kWc, 5, 0.1));
+  EXPECT_NE(base,
+            bench.CellKey("IMM", "nethept", WeightModel::kLtUniform, 5, 0.1));
+}
+
+TEST(WorkbenchTest, JournalReplaySkipsFinishedCells) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/workbench_journal.tsv";
+  std::remove(path.c_str());
+  CellResult first;
+  {
+    WorkbenchOptions options = TinyOptions();
+    options.journal_path = path;
+    Workbench bench(options);
+    first = bench.RunCell("IRIE", "nethept", WeightModel::kWc, 5);
+    EXPECT_TRUE(first.ok());
+  }
+  // A fresh Workbench (fresh process in real runs) replays the journaled
+  // cell verbatim instead of re-running it: timings match bit-for-bit,
+  // which a re-run could never produce.
+  {
+    WorkbenchOptions options = TinyOptions();
+    options.journal_path = path;
+    Workbench bench(options);
+    const CellResult replayed =
+        bench.RunCell("IRIE", "nethept", WeightModel::kWc, 5);
+    EXPECT_EQ(replayed.status, first.status);
+    EXPECT_EQ(replayed.seeds, first.seeds);
+    EXPECT_DOUBLE_EQ(replayed.spread.mean, first.spread.mean);
+    EXPECT_DOUBLE_EQ(replayed.spread.stddev, first.spread.stddev);
+    EXPECT_DOUBLE_EQ(replayed.select_seconds, first.select_seconds);
+    EXPECT_EQ(replayed.peak_heap_bytes, first.peak_heap_bytes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkbenchTest, CancelledCellsAreNotJournaled) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/workbench_cancel_journal.tsv";
+  std::remove(path.c_str());
+  std::atomic<bool> cancel{true};
+  {
+    WorkbenchOptions options = TinyOptions();
+    options.journal_path = path;
+    options.cancel = &cancel;
+    Workbench bench(options);
+    const CellResult result =
+        bench.RunCell("IRIE", "nethept", WeightModel::kWc, 3);
+    EXPECT_EQ(result.status, CellResult::Status::kCancelled);
+  }
+  // The resumed run must redo the cancelled cell from scratch.
+  {
+    WorkbenchOptions options = TinyOptions();
+    options.journal_path = path;
+    Workbench bench(options);
+    const CellResult rerun =
+        bench.RunCell("IRIE", "nethept", WeightModel::kWc, 3);
+    EXPECT_TRUE(rerun.ok());
+    EXPECT_EQ(rerun.seeds.size(), 3u);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(WorkbenchTest, ExplicitInstanceOverload) {
@@ -86,6 +222,7 @@ TEST(WorkbenchTest, StatusNames) {
   EXPECT_STREQ(CellStatusName(CellResult::Status::kDnf), "DNF");
   EXPECT_STREQ(CellStatusName(CellResult::Status::kOverBudget), "Crashed");
   EXPECT_STREQ(CellStatusName(CellResult::Status::kUnsupported), "NA");
+  EXPECT_STREQ(CellStatusName(CellResult::Status::kCancelled), "Cancelled");
 }
 
 }  // namespace

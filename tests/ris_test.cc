@@ -93,7 +93,8 @@ TEST(RisTest, MemoryCapSetsOverBudget) {
   Ris ris(options);
   const SelectionResult result =
       ris.Select(InputFor(g, 3, nullptr, DiffusionKind::kIndependentCascade));
-  EXPECT_TRUE(result.over_budget);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.stop_reason, StopReason::kMemory);
 }
 
 }  // namespace

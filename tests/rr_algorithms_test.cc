@@ -32,7 +32,7 @@ TEST(TimPlusTest, PicksTheHubUnderIc) {
   ASSERT_EQ(result.seeds.size(), 1u);
   EXPECT_EQ(result.seeds[0], 0u);
   EXPECT_GT(counters.rr_sets, 0u);
-  EXPECT_FALSE(result.over_budget);
+  EXPECT_TRUE(result.complete());
 }
 
 TEST(TimPlusTest, ExtrapolatedEstimateWithinGraphBounds) {
@@ -52,7 +52,8 @@ TEST(TimPlusTest, MemoryBudgetTriggersOverBudgetFlag) {
   TimPlus tim(options);
   const SelectionResult result =
       tim.Select(InputFor(g, 5, nullptr, DiffusionKind::kIndependentCascade));
-  EXPECT_TRUE(result.over_budget);
+  EXPECT_EQ(result.stop_reason, StopReason::kMemory);
+  EXPECT_TRUE(tim.last_run_over_budget());
   EXPECT_EQ(result.seeds.size(), 5u);  // still returns best-effort seeds
 }
 

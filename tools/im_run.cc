@@ -15,6 +15,7 @@
 #include "framework/datasets.h"
 #include "framework/memory.h"
 #include "framework/registry.h"
+#include "framework/run_guard.h"
 #include "graph/edge_list.h"
 #include "graph/weights.h"
 
@@ -54,6 +55,12 @@ int main(int argc, char** argv) {
       "param", kDefaultParameter,
       "external parameter (default: the Table 2 optimum for the model)");
   int64_t* mc = flags.AddInt("mc", 10000, "MC simulations for evaluation");
+  double* budget = flags.AddDouble(
+      "budget", 0.0,
+      "selection time budget in seconds (0 = unlimited); on expiry the "
+      "partial seed set is reported");
+  double* mem_budget = flags.AddDouble(
+      "mem-budget", 0.0, "selection heap cap in MB (0 = unlimited)");
   int64_t* seed = flags.AddInt("seed", 1, "RNG seed");
   int64_t* threads = flags.AddInt("threads", 0,
                                   "evaluation threads (0 = hardware)");
@@ -77,9 +84,11 @@ int main(int argc, char** argv) {
   // Build the graph.
   Graph graph;
   if (!graph_path->empty()) {
-    const auto loaded = LoadEdgeList(*graph_path);
+    EdgeListError error;
+    const auto loaded = LoadEdgeList(*graph_path, nullptr, &error);
     if (!loaded.has_value()) {
-      std::fprintf(stderr, "failed to load '%s'\n", graph_path->c_str());
+      std::fprintf(stderr, "failed to load edge list: %s\n",
+                   error.Format(*graph_path).c_str());
       return 1;
     }
     GraphOptions options;
@@ -115,9 +124,19 @@ int main(int argc, char** argv) {
   input.seed = static_cast<uint64_t>(*seed);
   input.counters = &counters;
 
+  // Budgets: first Ctrl-C drains the run and reports partial seeds.
+  InstallSigintCancel();
+  RunBudget run_budget;
+  if (*budget > 0) run_budget.deadline_seconds = *budget;
+  run_budget.max_heap_bytes =
+      static_cast<uint64_t>(*mem_budget * 1024.0 * 1024.0);
+  run_budget.cancel = SigintCancelFlag();
+
   const uint64_t heap_before = CurrentHeapBytes();
   ResetPeakHeapBytes();
   Timer timer;
+  RunGuard guard(run_budget);
+  input.guard = &guard;
   const SelectionResult result = instance->Select(input);
   const double select_secs = timer.Seconds();
   const uint64_t peak = PeakHeapBytes() - heap_before;
@@ -145,9 +164,14 @@ int main(int argc, char** argv) {
     std::printf("algorithm's internal estimate: %.1f\n",
                 result.internal_spread_estimate);
   }
-  std::printf("selection: %.3fs, peak working memory %.2f MB%s\n",
-              select_secs, peak / 1e6,
-              result.over_budget ? " (over memory budget)" : "");
+  std::printf("selection: %.3fs, peak working memory %.2f MB", select_secs,
+              peak / 1e6);
+  if (!result.complete()) {
+    std::printf(" (stopped early: %s; %zu of %u seeds)",
+                StopReasonName(result.stop_reason), result.seeds.size(),
+                input.k);
+  }
+  std::printf("\n");
   std::printf(
       "counters: %llu spread evaluations, %llu simulations, %llu RR sets, "
       "%llu snapshots, %llu scoring rounds\n",

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and test the tree twice — once optimized (release),
+# once under AddressSanitizer + UBSan (asan) — using the CMake presets at
+# the repo root. Run from anywhere:
+#
+#   tools/run_tier1.sh            # both presets
+#   tools/run_tier1.sh release    # just the optimized build
+#   tools/run_tier1.sh asan       # just the sanitizer build
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release asan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] ctest"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "tier-1 OK: ${presets[*]}"
