@@ -7,6 +7,9 @@
 //   --mc=N                     MC simulations for final spread evaluation
 //   --budget=SECONDS           enforced per-cell time budget (over => DNF)
 //   --mem-budget=MB            enforced per-cell heap cap (over => Crashed)
+//   --threads=N                worker threads for the parallel sampling and
+//                              evaluation stages (1 = sequential, 0 = all
+//                              hardware); results are identical either way
 //   --journal=PATH             results journal: finished cells are appended
 //                              and replayed on restart (crash-safe resume)
 //   --full                     paper-fidelity settings (slow!)
@@ -35,6 +38,7 @@ struct CommonFlags {
   int64_t* mc;
   double* budget;
   double* mem_budget;
+  int64_t* threads;
   std::string* journal;
   bool* full;
   bool* csv;
@@ -55,6 +59,10 @@ inline CommonFlags AddCommonFlags(FlagSet& flags, int64_t default_mc = 1000,
   c.mem_budget = flags.AddDouble(
       "mem-budget", 0.0,
       "enforced per-cell heap cap in MB, 0 = unlimited (over => Crashed)");
+  c.threads = flags.AddInt(
+      "threads", 1,
+      "worker threads for RR-set generation and MC evaluation "
+      "(1 = sequential, 0 = all hardware); results do not depend on it");
   c.journal = flags.AddString(
       "journal", "",
       "results journal path: completed cells are appended and replayed on "
@@ -75,6 +83,7 @@ inline WorkbenchOptions ToWorkbenchOptions(const CommonFlags& c) {
   options.time_budget_seconds = *c.budget;
   options.memory_budget_bytes =
       static_cast<uint64_t>(*c.mem_budget * 1024.0 * 1024.0);
+  options.threads = static_cast<uint32_t>(*c.threads);
   options.journal_path = *c.journal;
   // Side effect: from here on the first Ctrl-C drains the current cell
   // instead of killing the process.

@@ -38,9 +38,12 @@ int main(int argc, char** argv) {
                   static_cast<long long>(*k));
       TextTable table({"#simulations", "mean spread", "sd", "std err"});
       for (const uint32_t r : sims) {
-        const SpreadEstimate est =
-            EstimateSpread(graph, DiffusionKindFor(model), seeds_cell.seeds,
-                           r, bench.options().seed + r);
+        SpreadOptions eval;
+        eval.simulations = r;
+        eval.seed = bench.options().seed + r;
+        eval.threads = bench.options().threads;
+        const SpreadEstimate est = EstimateSpread(
+            graph, DiffusionKindFor(model), seeds_cell.seeds, eval);
         table.AddRow({TextTable::Int(r), TextTable::Num(est.mean, 1),
                       TextTable::Num(est.stddev, 1),
                       TextTable::Num(est.StdError(), 2)});

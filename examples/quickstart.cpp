@@ -45,9 +45,11 @@ int main(int argc, char** argv) {
 
   // 4. Evaluate the expected spread with 10K MC simulations (Kempe et
   //    al.'s recommendation, which the benchmark follows).
+  SpreadOptions mc;
+  mc.simulations = kReferenceSimulations;
+  mc.seed = input.seed;
   const SpreadEstimate spread =
-      EstimateSpread(graph, input.diffusion, result.seeds,
-                     kReferenceSimulations, input.seed);
+      EstimateSpread(graph, input.diffusion, result.seeds, mc);
 
   std::printf("graph: %u nodes, %llu arcs (weighted cascade)\n",
               graph.num_nodes(),

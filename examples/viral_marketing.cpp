@@ -71,9 +71,11 @@ int main(int argc, char** argv) {
     Timer timer;
     const SelectionResult result = pmc->Select(input);
     const double secs = timer.Seconds();
+    SpreadOptions eval;
+    eval.simulations = static_cast<uint32_t>(*mc);
+    eval.seed = 99;
     const SpreadEstimate spread =
-        EstimateSpread(graph, input.diffusion, result.seeds,
-                       static_cast<uint32_t>(*mc), 99);
+        EstimateSpread(graph, input.diffusion, result.seeds, eval);
     table.AddRow({TextTable::Int(k), TextTable::Num(spread.mean, 1),
                   TextTable::Num(100.0 * spread.mean / graph.num_nodes(), 2),
                   TextTable::Num(spread.mean / k, 1),

@@ -19,6 +19,8 @@
 
 namespace imbench {
 
+class ThreadPool;
+
 // Instrumentation counters filled in by algorithms as they run. Node
 // lookups are the metric of Appendix C (spread evaluations per iteration).
 struct Counters {
@@ -40,6 +42,13 @@ struct SelectionInput {
   // trips they return their best-effort partial seed set with the reason
   // in SelectionResult::stop_reason instead of running to completion.
   RunGuard* guard = nullptr;
+  // Worker threads for the parallel sampling engine (1 = sequential,
+  // 0 = all hardware threads). Results are identical for every value: the
+  // RR-set techniques key all randomness off the set index, so `threads`
+  // only changes wall-clock. Techniques without a parallel stage ignore it.
+  uint32_t threads = 1;
+  // Pool override for tests and benchmarks; null = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
 };
 
 // Output of a seed-selection run.

@@ -11,6 +11,12 @@ SelectionResult Celf::Select(const SelectionInput& input) {
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   CascadeContext context(graph.num_nodes());
   Rng rng = Rng::ForStream(input.seed, 0);
+  // Streaming mode: one live Rng across all lazy re-evaluations.
+  SpreadOptions mc;
+  mc.simulations = options_.simulations;
+  mc.guard = input.guard;
+  mc.context = &context;
+  mc.rng = &rng;
 
   SelectionResult result;
   std::vector<NodeId> seeds;
@@ -22,8 +28,7 @@ SelectionResult Celf::Select(const SelectionInput& input) {
     candidate.push_back(v);
     CountSimulations(input.counters, options_.simulations);
     const SpreadEstimate estimate =
-        EstimateSpread(graph, input.diffusion, candidate, options_.simulations,
-                       context, rng, input.guard);
+        EstimateSpread(graph, input.diffusion, candidate, mc);
     return estimate.mean - current_spread;
   };
   auto commit = [&](NodeId v) {
@@ -32,10 +37,8 @@ SelectionResult Celf::Select(const SelectionInput& input) {
     // Re-estimate σ(S) once per selection so gains stay anchored; cheaper
     // than storing each candidate's absolute spread.
     CountSimulations(input.counters, options_.simulations);
-    current_spread = EstimateSpread(graph, input.diffusion, candidate,
-                                    options_.simulations, context, rng,
-                                    input.guard)
-                         .mean;
+    current_spread =
+        EstimateSpread(graph, input.diffusion, candidate, mc).mean;
     seeds.push_back(v);
   };
   result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,

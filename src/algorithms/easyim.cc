@@ -14,6 +14,12 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
   const NodeId n = graph.num_nodes();
   Rng rng = Rng::ForStream(input.seed, 0);
   CascadeContext context(n);
+  // Streaming mode for the candidate-validation simulations.
+  SpreadOptions mc;
+  mc.simulations = options_.simulations;
+  mc.guard = input.guard;
+  mc.context = &context;
+  mc.rng = &rng;
 
   std::vector<uint8_t> is_seed(n, 0);
   // One score per node — the entire working state of the algorithm.
@@ -91,8 +97,7 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
         CountSpreadEvaluation(input.counters);
         CountSimulations(input.counters, options_.simulations);
         const SpreadEstimate est =
-            EstimateSpread(graph, input.diffusion, with_candidate,
-                           options_.simulations, context, rng, input.guard);
+            EstimateSpread(graph, input.diffusion, with_candidate, mc);
         if (est.mean > best_spread) {
           best_spread = est.mean;
           best = v;

@@ -10,6 +10,13 @@ SelectionResult Greedy::Select(const SelectionInput& input) {
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   CascadeContext context(graph.num_nodes());
   Rng rng = Rng::ForStream(input.seed, 0);
+  // Streaming mode: one live Rng across the whole greedy scan, reusing the
+  // cascade scratch (the classic Kempe et al. estimator).
+  SpreadOptions mc;
+  mc.simulations = options_.simulations;
+  mc.guard = input.guard;
+  mc.context = &context;
+  mc.rng = &rng;
 
   SelectionResult result;
   std::vector<NodeId> candidate;  // S ∪ {v} scratch
@@ -27,8 +34,7 @@ SelectionResult Greedy::Select(const SelectionInput& input) {
       CountSpreadEvaluation(input.counters);
       CountSimulations(input.counters, options_.simulations);
       const SpreadEstimate estimate =
-          EstimateSpread(graph, input.diffusion, candidate,
-                         options_.simulations, context, rng, input.guard);
+          EstimateSpread(graph, input.diffusion, candidate, mc);
       const double gain = estimate.mean - current_spread;
       if (gain > best_gain) {
         best_gain = gain;

@@ -26,27 +26,27 @@ SelectionResult Imm::Select(const SelectionInput& input) {
   // the advertised probability (Sec. 4.3 of the IMM paper).
   const double ell = options_.ell * (1.0 + std::log(2.0) / std::log(n));
 
-  Rng rng = Rng::ForStream(input.seed, 0);
-  RrSampler sampler(graph, input.diffusion, input.guard);
+  // One engine for both phases: the corpus is always the prefix
+  // Rng::ForStream(input.seed, 0..θ-1), so seed sets are invariant under
+  // input.threads. The engine-level entry cap drains through kMemory, the
+  // algorithm-local truncation the cap predates.
+  SamplerOptions sampler_options;
+  sampler_options.kind = input.diffusion;
+  sampler_options.guard = input.guard;
+  sampler_options.threads = input.threads;
+  sampler_options.max_total_entries = options_.max_rr_entries;
+  sampler_options.pool = input.pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(graph, sampler_options);
+
   RrCollection sets(graph.num_nodes());
-  std::vector<NodeId> scratch;
   StopReason stop = StopReason::kNone;
 
   auto generate_until = [&](uint64_t target) {
-    while (sets.size() < target && stop == StopReason::kNone) {
-      if (GuardShouldStop(input.guard)) {
-        stop = GuardReason(input.guard);
-        break;
-      }
-      sampler.Generate(rng, scratch);
-      if (input.counters != nullptr) ++input.counters->rr_sets;
-      sets.Add(scratch);
-      // The algorithm-local entry cap predates the run guard; drain it
-      // through the same StopReason so callers see one kind of truncation.
-      if (sets.TotalEntries() > options_.max_rr_entries) {
-        stop = StopReason::kMemory;
-      }
-    }
+    if (sets.size() >= target || stop != StopReason::kNone) return;
+    const RrBatchResult batch =
+        engine->Generate(input.seed, target - sets.size(), sets, nullptr);
+    if (input.counters != nullptr) input.counters->rr_sets += batch.generated;
+    stop = batch.stop;
   };
 
   // --- Phase 1: lower-bound OPT via martingale stopping (Alg. 2). ---
@@ -82,7 +82,7 @@ SelectionResult Imm::Select(const SelectionInput& input) {
       (eps * eps);
   const uint64_t theta =
       static_cast<uint64_t>(std::ceil(std::max(1.0, lambda_star / lower_bound)));
-  if (stop == StopReason::kNone) generate_until(theta);
+  generate_until(theta);
 
   // Max cover over whatever corpus exists is the natural best effort: the
   // seeds are still the greedy optimum for the sampled sets, just with a

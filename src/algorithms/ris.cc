@@ -9,30 +9,56 @@ SelectionResult Ris::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k >= 1 && input.k <= graph.num_nodes());
 
-  Rng rng = Rng::ForStream(input.seed, 0);
-  RrSampler sampler(graph, input.diffusion, input.guard);
+  SamplerOptions sampler_options;
+  sampler_options.kind = input.diffusion;
+  sampler_options.guard = input.guard;
+  sampler_options.threads = input.threads;
+  sampler_options.max_total_entries = options_.max_rr_entries;
+  sampler_options.pool = input.pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(graph, sampler_options);
+
   RrCollection sets(graph.num_nodes());
-  std::vector<NodeId> scratch;
 
   // Sample until the examined-edge budget runs out (the paper's R steps).
+  // Generation is chunked; the chunk size is a fixed constant — NOT derived
+  // from input.threads — so the engine sees the same call sequence and the
+  // budget-crossing set index is identical for every thread count. The
+  // reported per-set widths locate the exact crossing set; the over-sampled
+  // tail of the final chunk is truncated away.
+  constexpr uint64_t kChunkSets = 512;
   const double budget =
       options_.budget_multiplier *
       static_cast<double>(graph.num_edges() + graph.num_nodes());
   double examined = 0;
   StopReason stop = StopReason::kNone;
+  std::vector<uint64_t> widths;
   while (examined < budget && stop == StopReason::kNone) {
-    if (GuardShouldStop(input.guard)) {
-      stop = GuardReason(input.guard);
-      break;
+    widths.clear();
+    const size_t before = sets.size();
+    const RrBatchResult batch =
+        engine->Generate(input.seed, kChunkSets, sets, &widths);
+    uint64_t kept = batch.generated;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      // +1: even an isolated root costs a step, so the loop terminates on
+      // edgeless graphs too.
+      examined += static_cast<double>(widths[i]) + 1.0;
+      if (examined >= budget) {
+        // The crossing set is kept (it was paid for); the rest of the
+        // chunk was never part of the sequential-semantics sample.
+        kept = static_cast<uint64_t>(i) + 1;
+        break;
+      }
     }
-    // +1: even an isolated root costs a step, so the loop terminates on
-    // edgeless graphs too.
-    examined += static_cast<double>(sampler.Generate(rng, scratch)) + 1.0;
-    if (input.counters != nullptr) ++input.counters->rr_sets;
-    sets.Add(scratch);
-    if (sets.TotalEntries() > options_.max_rr_entries) {
-      stop = StopReason::kMemory;
+    if (kept < batch.generated) {
+      sets.TruncateTo(before + kept);
+    } else if (batch.stop != StopReason::kNone) {
+      // Only a chunk that was not budget-truncated can propagate the
+      // engine's stop: after truncation the kept corpus never reached the
+      // cap, and the budget itself is the reason the loop ends.
+      stop = batch.stop;
     }
+    if (input.counters != nullptr) input.counters->rr_sets += kept;
+    if (batch.generated == 0 && batch.stop == StopReason::kNone) break;
   }
 
   // Max cover over the partial corpus is still the best-effort answer.

@@ -27,11 +27,18 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
   const double ell = options_.ell;
   last_stop_ = StopReason::kNone;
 
-  Rng rng = Rng::ForStream(input.seed, 0);
-  RrSampler sampler(graph, input.diffusion, input.guard);
-  std::vector<NodeId> scratch;
+  // All sampling goes through one engine: set j is always drawn from
+  // Rng::ForStream(input.seed, j) whether the engine is sequential or
+  // parallel, so the seed set is invariant under input.threads.
+  SamplerOptions sampler_options;
+  sampler_options.kind = input.diffusion;
+  sampler_options.guard = input.guard;
+  sampler_options.threads = input.threads;
+  sampler_options.max_total_entries = options_.max_rr_entries;
+  sampler_options.pool = input.pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(graph, sampler_options);
 
-  auto count_rr = [&](uint64_t c = 1) {
+  auto count_rr = [&](uint64_t c) {
     if (input.counters != nullptr) input.counters->rr_sets += c;
   };
 
@@ -39,31 +46,28 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
   const double log2n = std::max(1.0, std::log2(n));
   double kpt = 1.0;
   RrCollection kpt_sets(graph.num_nodes());  // last iteration's sample
+  std::vector<uint64_t> widths;
   for (int i = 1; i < static_cast<int>(log2n); ++i) {
     const double ci =
         (6 * ell * std::log(n) + 6 * std::log(log2n)) * std::pow(2.0, i);
     const uint64_t num_sets = static_cast<uint64_t>(std::ceil(ci));
     RrCollection sample(graph.num_nodes());
+    widths.clear();
+    const RrBatchResult batch =
+        engine->Generate(input.seed, num_sets, sample, &widths);
+    count_rr(batch.generated);
+    // κ(R) = 1 − (1 − w(R)/m)^k where w(R) is the number of arcs entering
+    // R (the width the sampler reports).
     double kappa_sum = 0;
-    for (uint64_t j = 0; j < num_sets; ++j) {
-      if (GuardShouldStop(input.guard)) {
-        last_stop_ = GuardReason(input.guard);
-        break;
-      }
-      const uint64_t width = sampler.Generate(rng, scratch);
-      count_rr();
-      // κ(R) = 1 − (1 − w(R)/m)^k where w(R) is the number of arcs
-      // entering R (the width the sampler reports).
+    for (const uint64_t width : widths) {
       const double p = std::min(1.0, static_cast<double>(width) / m);
       kappa_sum += 1.0 - std::pow(1.0 - p, static_cast<double>(k));
-      sample.Add(scratch);
-      if (sample.TotalEntries() > options_.max_rr_entries) {
-        last_stop_ = StopReason::kMemory;
-        break;
-      }
     }
     kpt_sets = std::move(sample);
-    if (last_stop_ != StopReason::kNone) break;
+    if (batch.stop != StopReason::kNone) {
+      last_stop_ = batch.stop;
+      break;
+    }
     if (kappa_sum / static_cast<double>(num_sets) > 1.0 / std::pow(2.0, i)) {
       kpt = n * kappa_sum / (2.0 * static_cast<double>(num_sets));
       break;
@@ -82,17 +86,16 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
         std::ceil(std::max(1.0, lambda_prime / kpt)));
     // Cap the refinement sample; it only tightens the estimate.
     const uint64_t refine_sets = std::min<uint64_t>(theta_prime, 1u << 14);
+    RrCollection refine_sample(graph.num_nodes());
+    const RrBatchResult batch =
+        engine->Generate(input.seed, refine_sets, refine_sample, nullptr);
+    count_rr(batch.generated);
+    if (batch.stop != StopReason::kNone) last_stop_ = batch.stop;
     uint64_t covered = 0;
     std::vector<uint8_t> is_seed(graph.num_nodes(), 0);
     for (const NodeId s : rough_seeds) is_seed[s] = 1;
-    for (uint64_t j = 0; j < refine_sets; ++j) {
-      if (GuardShouldStop(input.guard)) {
-        last_stop_ = GuardReason(input.guard);
-        break;
-      }
-      sampler.Generate(rng, scratch);
-      count_rr();
-      for (const NodeId v : scratch) {
+    for (size_t j = 0; j < refine_sample.size(); ++j) {
+      for (const NodeId v : refine_sample.Set(j)) {
         if (is_seed[v]) {
           ++covered;
           break;
@@ -113,17 +116,11 @@ SelectionResult TimPlus::Select(const SelectionInput& input) {
       static_cast<uint64_t>(std::ceil(std::max(1.0, lambda / kpt_plus)));
 
   RrCollection sets(graph.num_nodes());
-  for (uint64_t j = 0; j < theta && last_stop_ == StopReason::kNone; ++j) {
-    if (GuardShouldStop(input.guard)) {
-      last_stop_ = GuardReason(input.guard);
-      break;
-    }
-    sampler.Generate(rng, scratch);
-    count_rr();
-    sets.Add(scratch);
-    if (sets.TotalEntries() > options_.max_rr_entries) {
-      last_stop_ = StopReason::kMemory;
-    }
+  if (last_stop_ == StopReason::kNone) {
+    const RrBatchResult batch =
+        engine->Generate(input.seed, theta, sets, nullptr);
+    count_rr(batch.generated);
+    if (batch.stop != StopReason::kNone) last_stop_ = batch.stop;
   }
 
   // Best effort on truncation: greedy max cover over the partial corpus.

@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace imbench {
+namespace {
+
+// Set while a thread is executing inside a pool's WorkerLoop; lets
+// ParallelFor detect re-entrant use and fall back to an inline loop.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t workers) {
+  queues_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  const size_t slot =
+      submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // The empty critical section pairs with the predicate check inside
+  // wait(): a worker is either between checks (and will observe pending_)
+  // or parked (and receives the notify).
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
+  wake_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(uint32_t home) {
+  const uint32_t n = static_cast<uint32_t>(queues_.size());
+  for (uint32_t probe = 0; probe < n; ++probe) {
+    const uint32_t q = (home + probe) % n;
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+      if (queues_[q]->tasks.empty()) continue;
+      if (probe == 0) {
+        // Own queue: oldest first, preserving submission order locally.
+        task = std::move(queues_[q]->tasks.front());
+        queues_[q]->tasks.pop_front();
+      } else {
+        // Steal the newest from a sibling — the classic choice that keeps
+        // a victim's cache-warm older work with the victim.
+        task = std::move(queues_[q]->tasks.back());
+        queues_[q]->tasks.pop_back();
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(uint32_t self) {
+  t_current_pool = this;
+  for (;;) {
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait(lock, [this] {
+      return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_ && pending_.load(std::memory_order_acquire) <= 0) return;
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t count, uint32_t parallelism,
+    const std::function<void(uint64_t item, uint32_t lane)>& fn) {
+  if (count == 0) return;
+  uint64_t lanes = parallelism == 0 ? worker_count() + 1 : parallelism;
+  lanes = std::min<uint64_t>(lanes, count);
+  if (worker_count() == 0 || lanes <= 1 || t_current_pool == this) {
+    for (uint64_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+
+  struct Fanout {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint32_t> live{0};
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<Fanout>();
+  state->live.store(static_cast<uint32_t>(lanes) - 1,
+                    std::memory_order_relaxed);
+
+  // Lane bodies capture `fn` by reference: safe because this frame does not
+  // return until every lane task has finished.
+  auto run_lane = [state, count, &fn](uint32_t lane) {
+    uint64_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < count) {
+      fn(i, lane);
+    }
+  };
+  for (uint32_t lane = 1; lane < lanes; ++lane) {
+    Submit([state, run_lane, lane] {
+      run_lane(lane);
+      if (state->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_one();
+      }
+    });
+  }
+  run_lane(0);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->live.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return *pool;
+}
+
+uint32_t EffectiveThreads(uint32_t requested) {
+  return requested != 0 ? requested
+                        : std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace imbench

@@ -1,0 +1,92 @@
+// Reusable work-stealing thread pool shared by every parallel stage of the
+// benchmark (RR-set generation, Monte-Carlo spread evaluation).
+//
+// Design notes:
+//   * Each worker owns a deque; Submit() distributes round-robin, workers
+//     pop their own queue from the front and steal from the back of a
+//     sibling's queue when idle, so bursty fan-outs balance without a
+//     single contended queue.
+//   * ParallelFor() is the fork-join primitive the engines use: `count`
+//     items are drained through a shared atomic cursor by up to
+//     `parallelism` lanes, and the *caller participates as lane 0*. That
+//     makes a pool with zero workers (single-core machines, the shared
+//     pool under `--threads=1`) degrade to a plain sequential loop with no
+//     thread traffic at all.
+//   * Determinism is the callers' contract, not the pool's: engines key
+//     all randomness off the item index (`Rng::ForStream(seed, i)`), so
+//     which lane runs an item never affects results.
+#ifndef IMBENCH_COMMON_THREAD_POOL_H_
+#define IMBENCH_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imbench {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads. Zero workers is valid: Submit() and
+  // ParallelFor() then run everything inline on the caller.
+  explicit ThreadPool(uint32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t worker_count() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  // Enqueues one task for any worker (runs inline when there are none).
+  void Submit(std::function<void()> task);
+
+  // Runs fn(item, lane) for every item in [0, count) and returns once all
+  // items have finished. Up to `parallelism` lanes execute concurrently
+  // (0 = workers + 1); `lane` < parallelism identifies the executing lane
+  // so callers can reuse per-lane scratch without locking. Items are
+  // handed out dynamically through a shared cursor, so uneven item costs
+  // balance automatically. Nested calls from inside a pool worker run
+  // inline rather than deadlocking on the worker's own queue.
+  void ParallelFor(uint64_t count, uint32_t parallelism,
+                   const std::function<void(uint64_t item, uint32_t lane)>& fn);
+
+  // Process-wide pool sized to the hardware: hardware_concurrency - 1
+  // workers, the caller of ParallelFor() being the remaining lane.
+  // Intentionally leaked so worker shutdown never races static destructors.
+  static ThreadPool& Shared();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(uint32_t self);
+  // Runs one task — own queue first, then stealing — returning false when
+  // every queue is empty.
+  bool RunOneTask(uint32_t home);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> submit_cursor_{0};
+  std::atomic<int64_t> pending_{0};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool shutdown_ = false;  // guarded by wake_mutex_
+};
+
+// Resolves a --threads request: 0 means "all hardware threads", anything
+// else is taken literally (values above the hardware count oversubscribe,
+// which is harmless because results are thread-count invariant).
+uint32_t EffectiveThreads(uint32_t requested);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_COMMON_THREAD_POOL_H_

@@ -1,0 +1,128 @@
+#include "diffusion/parallel_rr.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace imbench {
+
+ParallelRrSampler::ParallelRrSampler(const Graph& graph,
+                                     const SamplerOptions& options)
+    : graph_(graph),
+      options_(options),
+      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Shared()),
+      lanes_(EffectiveThreads(options.threads)) {}
+
+ParallelRrSampler::~ParallelRrSampler() = default;
+
+RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
+                                          RrCollection& out,
+                                          std::vector<uint64_t>* widths) {
+  RrBatchResult result;
+  if (count == 0) return result;
+
+  ParallelGuardState stop_state(options_.guard);
+  if (lane_states_.empty()) {
+    lane_states_.reserve(lanes_);
+    for (uint32_t lane = 0; lane < lanes_; ++lane) {
+      lane_states_.push_back(std::make_unique<LaneState>(
+          graph_, options_.kind, stop_state.MakeLaneGuard()));
+    }
+  } else {
+    // Refresh the guard copies so this call starts from the parent's
+    // current budget state (the sampler keeps pointing at ls.guard).
+    for (auto& ls : lane_states_) ls->guard = stop_state.MakeLaneGuard();
+  }
+  for (auto& ls : lane_states_) {
+    ls->sampler.set_abort_flag(stop_state.abort_flag());
+  }
+
+  // One lane's private output for one batch of kBatchSets consecutive set
+  // indices. `complete` distinguishes "ran out of indices" from "drained by
+  // a trip": the merge stops at the first incomplete batch so the corpus
+  // stays a prefix of the deterministic sequence.
+  struct Batch {
+    std::vector<std::vector<NodeId>> sets;
+    std::vector<uint64_t> set_widths;
+    bool complete = false;
+  };
+
+  uint64_t generated_total = 0;
+  bool draining = false;
+  while (generated_total < count && !draining) {
+    const uint64_t remaining = count - generated_total;
+    // A wave covers a few batches per lane: enough to balance uneven set
+    // sizes through the pool's dynamic cursor, small enough that buffered
+    // (not yet merged) sets stay bounded.
+    const uint64_t wave_target =
+        std::min<uint64_t>(remaining, uint64_t{lanes_} * 4 * kBatchSets);
+    const uint64_t num_batches = (wave_target + kBatchSets - 1) / kBatchSets;
+    const uint64_t wave_base = next_index_;
+    const uint64_t index_end = wave_base + wave_target;
+
+    std::vector<Batch> batches(num_batches);
+    pool_->ParallelFor(
+        num_batches, lanes_, [&](uint64_t b, uint32_t lane) {
+          LaneState& ls = *lane_states_[lane];
+          Batch& batch = batches[b];
+          const uint64_t first = wave_base + b * kBatchSets;
+          const uint64_t n = std::min<uint64_t>(kBatchSets, index_end - first);
+          batch.sets.reserve(n);
+          batch.set_widths.reserve(n);
+          for (uint64_t j = 0; j < n; ++j) {
+            if (stop_state.aborted()) return;
+            if (ls.guard.ShouldStop()) {
+              stop_state.Trip(ls.guard.reason());
+              return;
+            }
+            std::vector<NodeId> set;
+            const uint64_t width =
+                ls.sampler.GenerateStream(seed, first + j, set);
+            // A trip mid-set (own guard or a sibling's abort) leaves `set`
+            // truncated; drop it rather than publish a non-deterministic
+            // member list.
+            if (ls.guard.stopped()) {
+              stop_state.Trip(ls.guard.reason());
+              return;
+            }
+            if (stop_state.aborted()) return;
+            batch.sets.push_back(std::move(set));
+            batch.set_widths.push_back(width);
+          }
+          batch.complete = true;
+        });
+
+    // Merge in index order; every set appended here has the same contents
+    // the sequential engine would have produced for its index.
+    for (Batch& batch : batches) {
+      for (size_t i = 0; i < batch.sets.size(); ++i) {
+        out.Add(std::move(batch.sets[i]));
+        if (widths != nullptr) widths->push_back(batch.set_widths[i]);
+        ++next_index_;
+        ++generated_total;
+        ++result.generated;
+        // Entry cap: the sampler's own safety valve. Checked here in the
+        // single-threaded merge, so the crossing set index is deterministic
+        // regardless of thread count. Like the sequential engine, it does
+        // not trip the caller's run-wide guard.
+        if (options_.max_total_entries != 0 &&
+            out.TotalEntries() > options_.max_total_entries) {
+          result.stop = StopReason::kMemory;
+          return result;
+        }
+      }
+      if (!batch.complete) {
+        draining = true;
+        break;
+      }
+    }
+    if (stop_state.aborted()) draining = true;
+  }
+
+  stop_state.Propagate();
+  result.stop = stop_state.reason();
+  return result;
+}
+
+}  // namespace imbench

@@ -1,12 +1,6 @@
-// Multi-threaded Monte-Carlo spread estimation.
-//
-// The study benchmarks sequential implementations only (Sec. 4 explains
-// why parallel techniques are excluded), but notes that the MC evaluation
-// phase is embarrassingly parallel. This estimator exploits that for the
-// *spread computation* phase without perturbing results: simulation i
-// always uses Rng::ForStream(seed, i) regardless of which thread runs it,
-// so the estimate is bit-identical to the sequential EstimateSpread()
-// overload with the same (seed, simulations).
+// Deprecated: multi-threaded spread estimation is now a SpreadOptions
+// field (`threads`) on the unified EstimateSpread() entry point in
+// diffusion/spread.h. This header survives one release as a shim.
 #ifndef IMBENCH_DIFFUSION_PARALLEL_SPREAD_H_
 #define IMBENCH_DIFFUSION_PARALLEL_SPREAD_H_
 
@@ -17,13 +11,22 @@
 
 namespace imbench {
 
-// Runs `simulations` cascades across `threads` workers (0 = hardware
-// concurrency). Deterministic in (seed, simulations); independent of
-// `threads`.
-SpreadEstimate EstimateSpreadParallel(const Graph& graph, DiffusionKind kind,
-                                      std::span<const NodeId> seeds,
-                                      uint32_t simulations, uint64_t seed,
-                                      uint32_t threads = 0);
+// Deterministic in (seed, simulations); independent of `threads`
+// (0 = all hardware threads).
+[[deprecated(
+    "use EstimateSpread(graph, kind, seeds, SpreadOptions{.threads=...})")]]
+inline SpreadEstimate EstimateSpreadParallel(const Graph& graph,
+                                             DiffusionKind kind,
+                                             std::span<const NodeId> seeds,
+                                             uint32_t simulations,
+                                             uint64_t seed,
+                                             uint32_t threads = 0) {
+  SpreadOptions options;
+  options.simulations = simulations;
+  options.seed = seed;
+  options.threads = threads;
+  return EstimateSpread(graph, kind, seeds, options);
+}
 
 }  // namespace imbench
 

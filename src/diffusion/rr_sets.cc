@@ -1,8 +1,11 @@
 #include "diffusion/rr_sets.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "diffusion/parallel_rr.h"
 #include "framework/run_guard.h"
 
 namespace imbench {
@@ -11,6 +14,13 @@ RrSampler::RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard)
     : graph_(graph),
       kind_(kind),
       guard_(guard),
+      visited_stamp_(graph.num_nodes(), 0) {}
+
+RrSampler::RrSampler(const Graph& graph, const SamplerOptions& options)
+    : graph_(graph),
+      kind_(options.kind),
+      guard_(options.guard),
+      max_total_entries_(options.max_total_entries),
       visited_stamp_(graph.num_nodes(), 0) {}
 
 uint64_t RrSampler::Generate(Rng& rng, std::vector<NodeId>& out) {
@@ -30,13 +40,55 @@ uint64_t RrSampler::GenerateFromRoot(NodeId root, Rng& rng,
   return 0;
 }
 
+uint64_t RrSampler::GenerateStream(uint64_t seed, uint64_t index,
+                                   std::vector<NodeId>& out) {
+  Rng rng = Rng::ForStream(seed, index);
+  return Generate(rng, out);
+}
+
+RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
+                                  RrCollection& out,
+                                  std::vector<uint64_t>* widths) {
+  RrBatchResult result;
+  std::vector<NodeId> scratch;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) break;
+    if (GuardShouldStop(guard_)) {
+      result.stop = guard_->reason();
+      break;
+    }
+    const uint64_t width = GenerateStream(seed, next_index_++, scratch);
+    // A mid-set guard trip leaves a truncated set; drop it so the corpus
+    // stays a prefix of the deterministic sequence.
+    if (GuardStopped(guard_)) {
+      result.stop = guard_->reason();
+      break;
+    }
+    out.Add(std::move(scratch));
+    scratch.clear();
+    if (widths != nullptr) widths->push_back(width);
+    ++result.generated;
+    // The entry cap is the sampler's own safety valve: report kMemory but
+    // leave the caller's run-wide guard alone so the post-selection
+    // evaluation of the partial seed set still runs.
+    if (max_total_entries_ != 0 && out.TotalEntries() > max_total_entries_) {
+      result.stop = StopReason::kMemory;
+      break;
+    }
+  }
+  if (result.stop == StopReason::kNone && GuardStopped(guard_)) {
+    result.stop = guard_->reason();
+  }
+  return result;
+}
+
 uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng,
                                std::vector<NodeId>& out) {
   uint64_t edges_examined = 0;
   visited_stamp_[root] = epoch_;
   out.push_back(root);
   for (size_t head = 0; head < out.size(); ++head) {
-    if (GuardShouldStop(guard_)) break;  // truncated set: run is draining
+    if (PollStop()) break;  // truncated set: run is draining
     const NodeId v = out[head];
     const auto sources = graph_.InSources(v);
     const auto weights = graph_.InWeights(v);
@@ -62,7 +114,7 @@ uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng,
   visited_stamp_[root] = epoch_;
   out.push_back(root);
   NodeId v = root;
-  while (!GuardShouldStop(guard_)) {
+  while (!PollStop()) {
     const auto sources = graph_.InSources(v);
     const auto weights = graph_.InWeights(v);
     if (sources.empty()) break;
@@ -85,6 +137,17 @@ uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng,
   return edges_examined;
 }
 
+std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
+                                       const SamplerOptions& options) {
+  const uint32_t threads = EffectiveThreads(options.threads);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Shared();
+  if (threads <= 1 || pool.worker_count() == 0) {
+    return std::make_unique<RrSampler>(graph, options);
+  }
+  return std::make_unique<ParallelRrSampler>(graph, options);
+}
+
 RrCollection::RrCollection(NodeId num_nodes)
     : num_nodes_(num_nodes), sets_containing_(num_nodes) {}
 
@@ -98,12 +161,30 @@ void RrCollection::Add(std::vector<NodeId> set) {
   sets_.push_back(std::move(set));
 }
 
+void RrCollection::TruncateTo(size_t n) {
+  while (sets_.size() > n) {
+    const uint32_t id = static_cast<uint32_t>(sets_.size() - 1);
+    for (const NodeId v : sets_.back()) {
+      IMBENCH_CHECK(!sets_containing_[v].empty() &&
+                    sets_containing_[v].back() == id);
+      sets_containing_[v].pop_back();
+    }
+    total_entries_ -= sets_.back().size();
+    sets_.pop_back();
+  }
+}
+
 uint64_t RrCollection::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const auto& s : sets_) bytes += s.capacity() * sizeof(NodeId);
-  for (const auto& s : sets_containing_) bytes += s.capacity() * sizeof(uint32_t);
-  bytes += sets_.capacity() * sizeof(sets_[0]);
-  bytes += sets_containing_.capacity() * sizeof(sets_containing_[0]);
+  for (const auto& s : sets_containing_) {
+    bytes += s.capacity() * sizeof(uint32_t);
+  }
+  // Vector headers for both tiers (spelled with the element types, not
+  // sets_[0]: indexing an empty outer vector would be UB).
+  bytes += sets_.capacity() * sizeof(std::vector<NodeId>);
+  bytes += sets_containing_.capacity() * sizeof(std::vector<uint32_t>);
+  bytes += sizeof(*this);
   return bytes;
 }
 

@@ -1,4 +1,5 @@
-// Reverse-reachable (RR) set machinery shared by TIM+ and IMM (Sec. 4.2).
+// Reverse-reachable (RR) set machinery shared by TIM+, IMM and RIS
+// (Sec. 4.2).
 //
 // An RR set for root v is the set of nodes that reach v in a random
 // live-edge instantiation of the graph:
@@ -8,50 +9,134 @@
 //     proportional to its weight (no in-edge with the residual probability
 //     1 - Σ W) — a reverse random walk without revisits.
 //
-// Keeping the sampler and max-cover separate from the two algorithms makes
-// their benchmark comparison isolate exactly the parameter-estimation
-// machinery (myths M3/M4).
+// Sampling goes through the RrEngine interface: set number i is always
+// drawn from Rng::ForStream(seed, i) — root choice included — so a corpus
+// depends only on (seed, count), never on the thread count or on how the
+// work was scheduled. RrSampler is the sequential engine; ParallelRrSampler
+// (diffusion/parallel_rr.h) fans batches across the shared thread pool and
+// merges them in index order, bit-identical to the sequential engine.
+// MakeRrEngine() picks between them, which is how TIM+/IMM/RIS select
+// their sampling backend from one place.
 #ifndef IMBENCH_DIFFUSION_RR_SETS_H_
 #define IMBENCH_DIFFUSION_RR_SETS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/rng.h"
 #include "diffusion/cascade.h"
+#include "framework/run_guard.h"
 #include "graph/graph.h"
 
 namespace imbench {
 
-class RunGuard;
+class ThreadPool;
 
-// Generates RR sets one at a time with reusable scratch. When `guard` is
-// non-null it is polled inside the reverse BFS/walk, so even a single
-// exploding RR set (supercritical IC) cannot overrun a budget: generation
-// stops mid-set and the truncated set is returned.
-class RrSampler {
+// Common constructor shape for the RR-set engines: diffusion kind, optional
+// run guard, worker threads. Shared by RrSampler, ParallelRrSampler and the
+// MakeRrEngine() factory the algorithms use.
+struct SamplerOptions {
+  DiffusionKind kind = DiffusionKind::kIndependentCascade;
+  // Polled inside the reverse BFS/walk, so even a single exploding RR set
+  // (supercritical IC) cannot overrun a budget: generation stops mid-set
+  // and the truncated corpus is returned with the trip's StopReason.
+  RunGuard* guard = nullptr;
+  // Worker threads for generation: 1 = sequential, 0 = all hardware
+  // threads. Corpus contents are identical for every value.
+  uint32_t threads = 1;
+  // Cap on total node entries across the sets appended to one collection
+  // (0 = unlimited). Crossing it stops generation with StopReason::kMemory
+  // — the safety valve behind the paper's "Crashed" cells.
+  uint64_t max_total_entries = 0;
+  // Pool override for tests and benchmarks; null = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
+// Outcome of one batched generation request.
+struct RrBatchResult {
+  uint64_t generated = 0;               // sets appended to the collection
+  StopReason stop = StopReason::kNone;  // why generation stopped short
+};
+
+class RrCollection;
+
+// Batched RR-set generation. Engines keep a running set index across
+// calls: the j-th set ever generated is drawn from Rng::ForStream(seed, j),
+// so callers must pass the same seed to every call on one engine.
+class RrEngine {
+ public:
+  virtual ~RrEngine() = default;
+
+  // Appends up to `count` RR sets to `out`. If `widths` is non-null, the
+  // examined-edge count of each appended set is pushed in the same order
+  // (the width counter used by TIM+'s KPT estimation and RIS's budget).
+  // On a guard trip or entry-cap hit the appended sets form a prefix of
+  // the deterministic set sequence and `stop` carries the reason; callers
+  // bump Counters::rr_sets by `generated`, which keeps counts exact
+  // without any atomics on the generation hot path.
+  virtual RrBatchResult Generate(uint64_t seed, uint64_t count,
+                                 RrCollection& out,
+                                 std::vector<uint64_t>* widths = nullptr) = 0;
+};
+
+// Sequential engine; also generates RR sets one at a time with reusable
+// scratch through the legacy Generate(Rng&, out) entry points.
+class RrSampler : public RrEngine {
  public:
   RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard = nullptr);
+  // SamplerOptions constructor; `threads` and `pool` are ignored (this is
+  // the one-thread engine).
+  RrSampler(const Graph& graph, const SamplerOptions& options);
 
   // Samples an RR set rooted at a uniform random node; appends its members
   // (root included) to `out` (cleared first). Returns the number of edges
-  // examined (the width counter used by TIM+'s KPT estimation).
+  // examined.
   uint64_t Generate(Rng& rng, std::vector<NodeId>& out);
 
   // Same, with a caller-chosen root.
   uint64_t GenerateFromRoot(NodeId root, Rng& rng, std::vector<NodeId>& out);
 
+  // Draws the set with global index `index`: rng = ForStream(seed, index),
+  // root = rng.NextU32(n). The unit of determinism shared by the
+  // sequential and parallel engines.
+  uint64_t GenerateStream(uint64_t seed, uint64_t index,
+                          std::vector<NodeId>& out);
+
+  RrBatchResult Generate(uint64_t seed, uint64_t count, RrCollection& out,
+                         std::vector<uint64_t>* widths = nullptr) override;
+
+  // Hook for the parallel engine: an additional stop flag polled inside
+  // the BFS/walk so a sibling lane's trip truncates this lane's in-flight
+  // set too.
+  void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+
  private:
+  bool PollStop() {
+    return (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) ||
+           GuardShouldStop(guard_);
+  }
+
   uint64_t GenerateIc(NodeId root, Rng& rng, std::vector<NodeId>& out);
   uint64_t GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out);
 
   const Graph& graph_;
   DiffusionKind kind_;
   RunGuard* guard_;
+  const std::atomic<bool>* abort_ = nullptr;
+  uint64_t max_total_entries_ = 0;
+  uint64_t next_index_ = 0;  // stream cursor for batched generation
   uint32_t epoch_ = 0;
   std::vector<uint32_t> visited_stamp_;
 };
+
+// Picks the engine for the requested thread count: the sequential
+// RrSampler for one thread (or a worker-less pool), ParallelRrSampler
+// otherwise. The single construction point TIM+/IMM/RIS go through.
+std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
+                                       const SamplerOptions& options);
 
 // A corpus of RR sets with the node->sets inverted index needed for greedy
 // maximum coverage (the seed-selection step of TIM+/IMM).
@@ -62,11 +147,19 @@ class RrCollection {
   // Moves one sampled set into the collection.
   void Add(std::vector<NodeId> set);
 
+  // Drops sets from the back until `size() == n`, unwinding the inverted
+  // index (set ids are appended in increasing order, so each member's list
+  // ends with the dropped id). Lets RIS keep its exact per-set budget
+  // semantics under batched generation.
+  void TruncateTo(size_t n);
+
   size_t size() const { return sets_.size(); }
   uint64_t TotalEntries() const { return total_entries_; }
   std::span<const NodeId> Set(size_t i) const { return sets_[i]; }
 
-  // Approximate heap bytes held by the corpus (for the memory benchmarks).
+  // Approximate heap bytes held by the corpus (for the memory benchmarks):
+  // the member payloads, the inverted index, and both tiers of vector
+  // headers.
   uint64_t MemoryBytes() const;
 
   // Greedy max cover: picks k nodes maximizing the number of covered sets.

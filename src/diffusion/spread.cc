@@ -1,12 +1,17 @@
 #include "diffusion/spread.h"
 
 #include <cmath>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "framework/run_guard.h"
 
 namespace imbench {
 namespace {
 
+// Index-order aggregation: summing in a fixed order keeps the floating-
+// point result bit-identical regardless of which lanes produced the
+// samples.
 SpreadEstimate Aggregate(const std::vector<NodeId>& samples) {
   SpreadEstimate estimate;
   estimate.simulations = static_cast<uint32_t>(samples.size());
@@ -25,6 +30,78 @@ SpreadEstimate Aggregate(const std::vector<NodeId>& samples) {
   return estimate;
 }
 
+SpreadEstimate EstimateStreaming(const Graph& graph, DiffusionKind kind,
+                                 std::span<const NodeId> seeds,
+                                 const SpreadOptions& options) {
+  std::unique_ptr<CascadeContext> owned;
+  CascadeContext* context = options.context;
+  if (context == nullptr) {
+    owned = std::make_unique<CascadeContext>(graph.num_nodes());
+    context = owned.get();
+  }
+  std::vector<NodeId> samples;
+  samples.reserve(options.simulations);
+  for (uint32_t i = 0; i < options.simulations; ++i) {
+    if (GuardShouldStop(options.guard)) break;
+    samples.push_back(context->Simulate(graph, kind, seeds, *options.rng));
+  }
+  return Aggregate(samples);
+}
+
+SpreadEstimate EstimateSequential(const Graph& graph, DiffusionKind kind,
+                                  std::span<const NodeId> seeds,
+                                  const SpreadOptions& options) {
+  CascadeContext context(graph.num_nodes());
+  std::vector<NodeId> samples;
+  samples.reserve(options.simulations);
+  for (uint32_t i = 0; i < options.simulations; ++i) {
+    if (GuardShouldStop(options.guard)) break;
+    Rng rng = Rng::ForStream(options.seed, i);
+    samples.push_back(context.Simulate(graph, kind, seeds, rng));
+  }
+  return Aggregate(samples);
+}
+
+SpreadEstimate EstimateParallel(const Graph& graph, DiffusionKind kind,
+                                std::span<const NodeId> seeds,
+                                const SpreadOptions& options,
+                                ThreadPool& pool, uint32_t lanes) {
+  ParallelGuardState stop_state(options.guard);
+  std::vector<RunGuard> lane_guards(lanes, stop_state.MakeLaneGuard());
+  std::vector<std::unique_ptr<CascadeContext>> contexts;
+  contexts.reserve(lanes);
+  for (uint32_t lane = 0; lane < lanes; ++lane) {
+    contexts.push_back(std::make_unique<CascadeContext>(graph.num_nodes()));
+  }
+
+  // -1 marks "not run" so a guard trip yields a clean prefix below.
+  std::vector<int64_t> samples(options.simulations, -1);
+  pool.ParallelFor(
+      options.simulations, lanes, [&](uint64_t i, uint32_t lane) {
+        if (stop_state.aborted()) return;
+        RunGuard& guard = lane_guards[lane];
+        if (guard.ShouldStop()) {
+          stop_state.Trip(guard.reason());
+          return;
+        }
+        Rng rng = Rng::ForStream(options.seed, i);
+        samples[i] = contexts[lane]->Simulate(graph, kind, seeds, rng);
+      });
+  stop_state.Propagate();
+
+  // Aggregate the completed prefix in index order. On a full run this is
+  // all simulations and the result matches the sequential path bit for
+  // bit; on a trip it is the longest prefix with no gaps, mirroring the
+  // sequential path's early break.
+  std::vector<NodeId> prefix;
+  prefix.reserve(options.simulations);
+  for (uint32_t i = 0; i < options.simulations; ++i) {
+    if (samples[i] < 0) break;
+    prefix.push_back(static_cast<NodeId>(samples[i]));
+  }
+  return Aggregate(prefix);
+}
+
 }  // namespace
 
 double SpreadEstimate::StdError() const {
@@ -34,32 +111,20 @@ double SpreadEstimate::StdError() const {
 
 SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
-                              uint32_t simulations, uint64_t seed) {
+                              const SpreadOptions& options) {
   // σ(∅) = 0 exactly; skip the r pointless simulations (a cell cancelled
   // before its first pick reaches here with no seeds).
   if (seeds.empty()) return SpreadEstimate{};
-  CascadeContext context(graph.num_nodes());
-  std::vector<NodeId> samples;
-  samples.reserve(simulations);
-  for (uint32_t i = 0; i < simulations; ++i) {
-    Rng rng = Rng::ForStream(seed, i);
-    samples.push_back(context.Simulate(graph, kind, seeds, rng));
+  if (options.rng != nullptr) {
+    return EstimateStreaming(graph, kind, seeds, options);
   }
-  return Aggregate(samples);
-}
-
-SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
-                              std::span<const NodeId> seeds,
-                              uint32_t simulations, CascadeContext& context,
-                              Rng& rng, RunGuard* guard) {
-  if (seeds.empty()) return SpreadEstimate{};
-  std::vector<NodeId> samples;
-  samples.reserve(simulations);
-  for (uint32_t i = 0; i < simulations; ++i) {
-    if (GuardShouldStop(guard)) break;
-    samples.push_back(context.Simulate(graph, kind, seeds, rng));
+  const uint32_t threads = EffectiveThreads(options.threads);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Shared();
+  if (threads <= 1 || pool.worker_count() == 0 || options.simulations <= 1) {
+    return EstimateSequential(graph, kind, seeds, options);
   }
-  return Aggregate(samples);
+  return EstimateParallel(graph, kind, seeds, options, pool, threads);
 }
 
 }  // namespace imbench

@@ -109,6 +109,7 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
   input.k = k;
   input.seed = options_.seed;
   input.counters = &result.counters;
+  input.threads = options_.threads;
 
   RunBudget budget;
   budget.deadline_seconds = options_.time_budget_seconds;
@@ -152,9 +153,11 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
   // DNF/over-budget cells — their best-effort seeds are informative — but
   // skipped on cancellation, where the user is waiting for the exit.
   if (result.status != CellResult::Status::kCancelled) {
-    result.spread = EstimateSpread(graph, kind, result.seeds,
-                                   options_.evaluation_simulations,
-                                   options_.seed ^ 0x5f12ead0c0ffeeULL);
+    SpreadOptions eval;
+    eval.simulations = options_.evaluation_simulations;
+    eval.seed = options_.seed ^ 0x5f12ead0c0ffeeULL;
+    eval.threads = options_.threads;
+    result.spread = EstimateSpread(graph, kind, result.seeds, eval);
   }
   // Journal everything except cancelled cells: a cancelled cell is an
   // artifact of when Ctrl-C landed, and the resumed run should redo it.

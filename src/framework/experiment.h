@@ -65,6 +65,11 @@ struct WorkbenchOptions {
   // External cancel flag (e.g. SigintCancelFlag()). When it goes true the
   // in-flight cell drains and is reported kCancelled.
   const std::atomic<bool>* cancel = nullptr;
+  // Worker threads for the parallel stages (RR-set generation inside the
+  // RR techniques, the MC evaluation pass): 1 = sequential, 0 = all
+  // hardware threads. Results are thread-count invariant; only wall-clock
+  // changes.
+  uint32_t threads = 1;
   // Path of the results journal; empty disables journaling.
   std::string journal_path;
 };

@@ -23,15 +23,17 @@ FrameworkResult RunImFramework(const Graph& graph, const AlgorithmSpec& spec,
     input.diffusion = kind;
     input.k = options.k;
     input.seed = options.seed;
+    input.threads = options.threads;
     Timer timer;
     SelectionResult selection = algorithm->Select(input);
     trial.select_seconds = timer.Seconds();
     trial.seeds = std::move(selection.seeds);
     // Spread computation phase: identical MC evaluation for everyone.
-    trial.spread =
-        EstimateSpread(graph, kind, trial.seeds,
-                       options.evaluation_simulations,
-                       options.seed ^ 0x5f12ead0c0ffeeULL);
+    SpreadOptions eval;
+    eval.simulations = options.evaluation_simulations;
+    eval.seed = options.seed ^ 0x5f12ead0c0ffeeULL;
+    eval.threads = options.threads;
+    trial.spread = EstimateSpread(graph, kind, trial.seeds, eval);
     return trial;
   };
 

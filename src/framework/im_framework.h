@@ -29,6 +29,9 @@ struct FrameworkOptions {
   uint64_t seed = 1;
   // Convergence slack in standard deviations (1.0 per Sec. 5.1.1).
   double tolerance_stddevs = 1.0;
+  // Worker threads for selection's sampling engine and the MC evaluation
+  // (1 = sequential, 0 = all hardware). Thread-count invariant results.
+  uint32_t threads = 1;
 };
 
 // One (parameter, seeds, spread) evaluation along the spectrum.

@@ -47,6 +47,9 @@ struct RunBudget {
 // Cheap amortized budget poll. Construct armed with a budget right before
 // the guarded work; a default-constructed guard is unarmed and never stops.
 // Not thread-safe: one guard per selection run, polled from its thread.
+// Copyable: a copy shares the deadline epoch, heap baseline and cancel
+// flag but polls independently — parallel regions hand each worker lane a
+// copy (see ParallelGuardState below) instead of sharing one guard.
 class RunGuard {
  public:
   RunGuard() = default;  // unarmed
@@ -85,6 +88,51 @@ class RunGuard {
   double last_check_seconds_ = 0;
   bool armed_ = false;
   StopReason reason_ = StopReason::kNone;
+};
+
+// Shared stop state for one parallel region (parallel RR-set generation,
+// multi-threaded spread evaluation). RunGuard itself is single-threaded,
+// so a region gives every worker lane its own *copy* of the parent guard
+// plus this shared state: the first lane whose copy trips publishes the
+// reason and raises the abort flag that drains every other lane. After the
+// join, Propagate() forwards the verdict to the parent guard so the
+// caller's subsequent polls observe the trip too.
+class ParallelGuardState {
+ public:
+  explicit ParallelGuardState(RunGuard* parent) : parent_(parent) {}
+
+  // Worker-lane copy of the parent guard (unarmed when there is none).
+  RunGuard MakeLaneGuard() const {
+    return parent_ != nullptr ? *parent_ : RunGuard();
+  }
+
+  // Cross-lane drain flag; cheap enough to poll from inner loops.
+  const std::atomic<bool>* abort_flag() const { return &abort_; }
+  bool aborted() const { return abort_.load(std::memory_order_relaxed); }
+  StopReason reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
+
+  // Publishes a lane's trip; the first reason wins, and every lane that
+  // polls the abort flag drains promptly.
+  void Trip(StopReason reason) {
+    StopReason expected = StopReason::kNone;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+    abort_.store(true, std::memory_order_release);
+  }
+
+  // Forwards the published reason (if any) to the parent guard; call after
+  // the lanes have joined.
+  void Propagate() {
+    const StopReason r = reason();
+    if (parent_ != nullptr && r != StopReason::kNone) parent_->Trip(r);
+  }
+
+ private:
+  RunGuard* parent_;
+  std::atomic<bool> abort_{false};
+  std::atomic<StopReason> reason_{StopReason::kNone};
 };
 
 // Null-tolerant helpers so algorithms can poll an optional guard without

@@ -103,7 +103,8 @@ TEST_P(AlgorithmPropertyTest, BeatsBottomDegreeBaseline) {
   const SelectionResult result =
       spec->make(CheapestParameter(*spec))->Select(input);
   const double spread =
-      EstimateSpread(g, input.diffusion, result.seeds, 1000, 11).mean;
+      EstimateSpread(g, input.diffusion, result.seeds,
+                     {.simulations = 1000, .seed = 11}).mean;
 
   // Baseline: the k lowest out-degree nodes.
   std::vector<std::pair<uint32_t, NodeId>> by_degree;
@@ -114,7 +115,8 @@ TEST_P(AlgorithmPropertyTest, BeatsBottomDegreeBaseline) {
   std::vector<NodeId> bottom;
   for (int i = 0; i < 8; ++i) bottom.push_back(by_degree[i].second);
   const double bottom_spread =
-      EstimateSpread(g, input.diffusion, bottom, 1000, 11).mean;
+      EstimateSpread(g, input.diffusion, bottom,
+                     {.simulations = 1000, .seed = 11}).mean;
   EXPECT_GE(spread, bottom_spread);
 }
 

@@ -1,0 +1,262 @@
+// The parallel sampling engine's core contract: thread-count invariance.
+// RR corpora, seed sets and spread estimates must be bit-identical for
+// threads in {1, 2, 8}, and budget trips must stop promptly with the right
+// StopReason while still returning a deterministic prefix.
+//
+// Tests inject private ThreadPool instances (threads - 1 workers) so real
+// concurrency runs even on single-core machines, where the shared pool has
+// zero workers and everything would silently degrade to inline execution.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algorithms/imm.h"
+#include "algorithms/ris.h"
+#include "algorithms/tim_plus.h"
+#include "common/thread_pool.h"
+#include "diffusion/parallel_rr.h"
+#include "diffusion/rr_sets.h"
+#include "framework/datasets.h"
+#include "framework/run_guard.h"
+#include "graph/weights.h"
+
+namespace imbench {
+namespace {
+
+Graph WcGraph() {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  return g;
+}
+
+std::vector<std::vector<NodeId>> CorpusOf(const RrCollection& c) {
+  std::vector<std::vector<NodeId>> sets;
+  sets.reserve(c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    const auto span = c.Set(i);
+    sets.emplace_back(span.begin(), span.end());
+  }
+  return sets;
+}
+
+TEST(SamplingDeterminismTest, CorpusBitIdenticalAcrossThreadCounts) {
+  const Graph g = WcGraph();
+  constexpr uint64_t kSets = 700;  // not a multiple of the batch size
+  constexpr uint64_t kSeed = 42;
+
+  SamplerOptions sequential_options;
+  RrSampler sequential(g, sequential_options);
+  RrCollection reference(g.num_nodes());
+  std::vector<uint64_t> reference_widths;
+  const RrBatchResult ref_result =
+      sequential.Generate(kSeed, kSets, reference, &reference_widths);
+  ASSERT_EQ(ref_result.generated, kSets);
+  ASSERT_EQ(ref_result.stop, StopReason::kNone);
+  const auto reference_corpus = CorpusOf(reference);
+
+  for (const uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads - 1);
+    SamplerOptions options;
+    options.threads = threads;
+    options.pool = &pool;
+    std::unique_ptr<RrEngine> engine = MakeRrEngine(g, options);
+    RrCollection corpus(g.num_nodes());
+    std::vector<uint64_t> widths;
+    const RrBatchResult result =
+        engine->Generate(kSeed, kSets, corpus, &widths);
+    EXPECT_EQ(result.generated, kSets) << threads;
+    EXPECT_EQ(result.stop, StopReason::kNone) << threads;
+    EXPECT_EQ(CorpusOf(corpus), reference_corpus) << threads;
+    EXPECT_EQ(widths, reference_widths) << threads;
+  }
+}
+
+TEST(SamplingDeterminismTest, SplitCallsMatchOneCall) {
+  // The engine keeps a global stream cursor, so Generate(300) + Generate(400)
+  // must produce the same corpus as one Generate(700).
+  const Graph g = WcGraph();
+  SamplerOptions options;
+  RrSampler one_call(g, options);
+  RrCollection whole(g.num_nodes());
+  one_call.Generate(9, 700, whole, nullptr);
+
+  ThreadPool pool(3);
+  options.threads = 4;
+  options.pool = &pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(g, options);
+  RrCollection split(g.num_nodes());
+  engine->Generate(9, 300, split, nullptr);
+  engine->Generate(9, 400, split, nullptr);
+  EXPECT_EQ(CorpusOf(split), CorpusOf(whole));
+}
+
+TEST(SamplingDeterminismTest, EntryCapTripsIdenticallyAcrossThreads) {
+  // The kMemory safety valve is checked in the single-threaded merge, so
+  // the truncated corpus must also be thread-count invariant.
+  const Graph g = WcGraph();
+  SamplerOptions options;
+  options.max_total_entries = 500;
+  RrSampler sequential(g, options);
+  RrCollection reference(g.num_nodes());
+  const RrBatchResult ref_result =
+      sequential.Generate(7, 100000, reference, nullptr);
+  ASSERT_EQ(ref_result.stop, StopReason::kMemory);
+  ASSERT_GT(reference.size(), 0u);
+
+  ThreadPool pool(7);
+  options.threads = 8;
+  options.pool = &pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(g, options);
+  RrCollection corpus(g.num_nodes());
+  const RrBatchResult result = engine->Generate(7, 100000, corpus, nullptr);
+  EXPECT_EQ(result.stop, StopReason::kMemory);
+  EXPECT_EQ(CorpusOf(corpus), CorpusOf(reference));
+}
+
+TEST(SamplingDeterminismTest, GuardTripStopsPromptlyWithPrefixCorpus) {
+  // An already-expired deadline: the parallel engine must drain its lanes,
+  // report kDeadline, and whatever it did append must be a prefix of the
+  // deterministic sequence.
+  const Graph g = WcGraph();
+  RunBudget budget;
+  budget.deadline_seconds = 0.0;
+  RunGuard guard(budget);
+
+  ThreadPool pool(3);
+  SamplerOptions options;
+  options.guard = &guard;
+  options.threads = 4;
+  options.pool = &pool;
+  ParallelRrSampler engine(g, options);
+  RrCollection corpus(g.num_nodes());
+  const RrBatchResult result = engine.Generate(5, 100000, corpus, nullptr);
+  EXPECT_EQ(result.stop, StopReason::kDeadline);
+  EXPECT_TRUE(guard.stopped());  // Propagate() reached the parent guard
+  EXPECT_LT(result.generated, 100000u);  // stopped long before the target
+
+  RrSampler sequential(g, DiffusionKind::kIndependentCascade);
+  std::vector<NodeId> expected;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    sequential.GenerateStream(5, i, expected);
+    const auto actual = corpus.Set(i);
+    ASSERT_EQ(std::vector<NodeId>(actual.begin(), actual.end()), expected)
+        << i;
+  }
+}
+
+TEST(SamplingDeterminismTest, CancelFlagDrainsParallelGeneration) {
+  const Graph g = WcGraph();
+  std::atomic<bool> cancel{true};
+  RunBudget budget;
+  budget.cancel = &cancel;
+  RunGuard guard(budget);
+
+  ThreadPool pool(3);
+  SamplerOptions options;
+  options.guard = &guard;
+  options.threads = 4;
+  options.pool = &pool;
+  ParallelRrSampler engine(g, options);
+  RrCollection corpus(g.num_nodes());
+  const RrBatchResult result = engine.Generate(5, 100000, corpus, nullptr);
+  EXPECT_EQ(result.stop, StopReason::kCancelled);
+  EXPECT_LT(result.generated, 100000u);
+}
+
+template <typename Algorithm>
+std::vector<NodeId> SeedsWithThreads(const Graph& g, uint32_t threads,
+                                     ThreadPool* pool) {
+  Algorithm algorithm({});
+  SelectionInput input;
+  input.graph = &g;
+  input.diffusion = DiffusionKind::kIndependentCascade;
+  input.k = 8;
+  input.seed = 3;
+  input.threads = threads;
+  input.pool = pool;
+  return algorithm.Select(input).seeds;
+}
+
+TEST(SamplingDeterminismTest, TimPlusSeedsInvariantUnderThreads) {
+  const Graph g = WcGraph();
+  const std::vector<NodeId> reference =
+      SeedsWithThreads<TimPlus>(g, 1, nullptr);
+  ASSERT_EQ(reference.size(), 8u);
+  for (const uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads - 1);
+    EXPECT_EQ(SeedsWithThreads<TimPlus>(g, threads, &pool), reference)
+        << threads;
+  }
+}
+
+TEST(SamplingDeterminismTest, ImmSeedsInvariantUnderThreads) {
+  const Graph g = WcGraph();
+  const std::vector<NodeId> reference = SeedsWithThreads<Imm>(g, 1, nullptr);
+  ASSERT_EQ(reference.size(), 8u);
+  for (const uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads - 1);
+    EXPECT_EQ(SeedsWithThreads<Imm>(g, threads, &pool), reference) << threads;
+  }
+}
+
+TEST(SamplingDeterminismTest, RisSeedsInvariantUnderThreads) {
+  const Graph g = WcGraph();
+  const std::vector<NodeId> reference = SeedsWithThreads<Ris>(g, 1, nullptr);
+  ASSERT_EQ(reference.size(), 8u);
+  for (const uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads - 1);
+    EXPECT_EQ(SeedsWithThreads<Ris>(g, threads, &pool), reference) << threads;
+  }
+}
+
+TEST(SamplingDeterminismTest, LtCorpusInvariantUnderThreads) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignLtUniform(g);
+  SamplerOptions options;
+  options.kind = DiffusionKind::kLinearThreshold;
+  RrSampler sequential(g, options);
+  RrCollection reference(g.num_nodes());
+  sequential.Generate(11, 400, reference, nullptr);
+
+  ThreadPool pool(7);
+  options.threads = 8;
+  options.pool = &pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(g, options);
+  RrCollection corpus(g.num_nodes());
+  engine->Generate(11, 400, corpus, nullptr);
+  EXPECT_EQ(CorpusOf(corpus), CorpusOf(reference));
+}
+
+TEST(RrCollectionTest, TruncateToUnwindsInvertedIndex) {
+  RrCollection c(5);
+  c.Add({0, 1});
+  c.Add({1, 2, 3});
+  c.Add({3, 4});
+  ASSERT_EQ(c.size(), 3u);
+  ASSERT_EQ(c.TotalEntries(), 7u);
+  c.TruncateTo(1);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.TotalEntries(), 2u);
+  // Greedy cover over the remaining single set behaves as if the dropped
+  // sets never existed: any member of {0,1} covers everything.
+  double fraction = 0;
+  const std::vector<NodeId> seeds = c.GreedyMaxCover(1, &fraction);
+  EXPECT_DOUBLE_EQ(fraction, 1.0);
+  EXPECT_TRUE(seeds[0] == 0 || seeds[0] == 1);
+}
+
+TEST(RrCollectionTest, MemoryBytesCountsInvertedIndexAndHeaders) {
+  // The reported footprint must include the node->sets index and the
+  // per-vector headers, not just the member payloads (the Fig. 8 metric).
+  RrCollection c(1000);
+  EXPECT_GE(c.MemoryBytes(),
+            1000 * sizeof(std::vector<uint32_t>));  // index headers alone
+  const uint64_t empty_bytes = c.MemoryBytes();
+  c.Add({1, 2, 3, 4, 5});
+  EXPECT_GE(c.MemoryBytes(),
+            empty_bytes + 5 * sizeof(NodeId) + 5 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace imbench

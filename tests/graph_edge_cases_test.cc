@@ -55,7 +55,8 @@ TEST(GraphEdgeCasesTest, EmptySeedSetSpreadIsZero) {
   Graph g = testutil::PathGraph(4, 1.0);
   const std::vector<NodeId> none;
   const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, none, 50, 1);
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, none,
+                     {.simulations = 50, .seed = 1});
   EXPECT_DOUBLE_EQ(est.mean, 0.0);
 }
 
@@ -64,7 +65,8 @@ TEST(GraphEdgeCasesTest, SeedingEveryNodeSpreadsToN) {
   std::vector<NodeId> all;
   for (NodeId v = 0; v < 6; ++v) all.push_back(v);
   const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, all, 20, 1);
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, all,
+                     {.simulations = 20, .seed = 1});
   EXPECT_DOUBLE_EQ(est.mean, 6.0);
   EXPECT_DOUBLE_EQ(est.stddev, 0.0);
 }

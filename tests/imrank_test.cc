@@ -97,7 +97,7 @@ TEST(ImRankTest, BeatsReverseDegreeOrdering) {
   const SelectionResult result = imrank.Select(IcInput(g, 10, nullptr));
   const double spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
-                     2000, 1)
+                     {.simulations = 2000, .seed = 1})
           .mean;
 
   // Bottom-degree baseline.
@@ -109,7 +109,8 @@ TEST(ImRankTest, BeatsReverseDegreeOrdering) {
   std::vector<NodeId> bottom;
   for (int i = 0; i < 10; ++i) bottom.push_back(by_degree[i].second);
   const double bottom_spread =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, bottom, 2000, 1)
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, bottom,
+                     {.simulations = 2000, .seed = 1})
           .mean;
   EXPECT_GT(spread, bottom_spread);
 }

@@ -67,7 +67,8 @@ TEST(LdagTest, QualityTracksMcEvaluationOnRealProfile) {
   const SelectionResult result = ldag.Select(LtInput(g, 10));
   ASSERT_EQ(result.seeds.size(), 10u);
   const double spread =
-      EstimateSpread(g, DiffusionKind::kLinearThreshold, result.seeds, 2000, 1)
+      EstimateSpread(g, DiffusionKind::kLinearThreshold, result.seeds,
+                     {.simulations = 2000, .seed = 1})
           .mean;
   // LDAG's internal estimate is a truncated-influence approximation; it
   // should be in the same ballpark as the MC evaluation.

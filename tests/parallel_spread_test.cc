@@ -1,7 +1,12 @@
-#include "diffusion/parallel_spread.h"
-
+// Multi-threaded spread estimation through the unified EstimateSpread()
+// entry point. Tests inject private ThreadPool instances so real worker
+// threads run even on single-core machines (where the shared pool has zero
+// workers and everything degrades to inline execution).
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
+#include "diffusion/parallel_spread.h"
+#include "diffusion/spread.h"
 #include "framework/datasets.h"
 #include "graph/weights.h"
 #include "tests/test_util.h"
@@ -10,16 +15,19 @@ namespace imbench {
 namespace {
 
 TEST(ParallelSpreadTest, MatchesSequentialExactly) {
-  // Simulation i is pinned to stream i, so the parallel estimator must be
-  // bit-identical to the sequential one for any thread count.
+  // Simulation i is pinned to stream i and samples aggregate in index
+  // order, so the estimate must be bit-identical for any thread count.
   Graph g = MakeDataset("nethept", DatasetScale::kTiny);
   AssignWeightedCascade(g);
   const std::vector<NodeId> seeds = {1, 5, 9};
-  const SpreadEstimate sequential = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 500, /*seed=*/11);
-  for (const uint32_t threads : {1u, 2u, 3u, 8u}) {
-    const SpreadEstimate parallel = EstimateSpreadParallel(
-        g, DiffusionKind::kIndependentCascade, seeds, 500, 11, threads);
+  const SpreadEstimate sequential =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 500, .seed = 11});
+  for (const uint32_t threads : {2u, 3u, 8u}) {
+    ThreadPool pool(threads - 1);
+    const SpreadEstimate parallel = EstimateSpread(
+        g, DiffusionKind::kIndependentCascade, seeds,
+        {.simulations = 500, .seed = 11, .threads = threads, .pool = &pool});
     EXPECT_DOUBLE_EQ(parallel.mean, sequential.mean) << threads;
     EXPECT_DOUBLE_EQ(parallel.stddev, sequential.stddev) << threads;
   }
@@ -29,36 +37,60 @@ TEST(ParallelSpreadTest, LtModelSupported) {
   Graph g = MakeDataset("nethept", DatasetScale::kTiny);
   AssignLtUniform(g);
   const std::vector<NodeId> seeds = {0, 2};
-  const SpreadEstimate sequential = EstimateSpread(
-      g, DiffusionKind::kLinearThreshold, seeds, 300, /*seed=*/5);
-  const SpreadEstimate parallel = EstimateSpreadParallel(
-      g, DiffusionKind::kLinearThreshold, seeds, 300, 5, 2);
+  const SpreadEstimate sequential =
+      EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds,
+                     {.simulations = 300, .seed = 5});
+  ThreadPool pool(1);
+  const SpreadEstimate parallel = EstimateSpread(
+      g, DiffusionKind::kLinearThreshold, seeds,
+      {.simulations = 300, .seed = 5, .threads = 2, .pool = &pool});
   EXPECT_DOUBLE_EQ(parallel.mean, sequential.mean);
 }
 
 TEST(ParallelSpreadTest, ZeroSimulations) {
   Graph g = testutil::PathGraph(3, 1.0);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est = EstimateSpreadParallel(
-      g, DiffusionKind::kIndependentCascade, seeds, 0, 1, 4);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 0, .seed = 1, .threads = 4});
   EXPECT_EQ(est.simulations, 0u);
 }
 
 TEST(ParallelSpreadTest, MoreThreadsThanSimulations) {
   Graph g = testutil::PathGraph(4, 1.0);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est = EstimateSpreadParallel(
-      g, DiffusionKind::kIndependentCascade, seeds, 3, 1, 64);
+  ThreadPool pool(3);
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds,
+      {.simulations = 3, .seed = 1, .threads = 64, .pool = &pool});
   EXPECT_DOUBLE_EQ(est.mean, 4.0);
 }
 
 TEST(ParallelSpreadTest, DefaultThreadCount) {
+  // threads = 0 resolves to all hardware threads via the shared pool.
   Graph g = testutil::HubGraph();
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est = EstimateSpreadParallel(
-      g, DiffusionKind::kIndependentCascade, seeds, 200, 3, /*threads=*/0);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 200, .seed = 3, .threads = 0});
   EXPECT_GT(est.mean, 1.0);
 }
+
+// The deprecated EstimateSpreadParallel shim must keep forwarding
+// faithfully until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ParallelSpreadTest, DeprecatedShimForwards) {
+  Graph g = testutil::HubGraph();
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate shim = EstimateSpreadParallel(
+      g, DiffusionKind::kIndependentCascade, seeds, 200, 3, 2);
+  const SpreadEstimate direct =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 200, .seed = 3, .threads = 2});
+  EXPECT_DOUBLE_EQ(shim.mean, direct.mean);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace imbench

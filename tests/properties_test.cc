@@ -49,7 +49,7 @@ TEST_P(RrTheoremTest, HitRateMatchesNormalizedSpread) {
   const std::vector<NodeId> seeds = {1, 4, 9, 16, 25};
 
   const double sigma =
-      EstimateSpread(g, kind, seeds, 20000, /*seed=*/7).mean;
+      EstimateSpread(g, kind, seeds, {.simulations = 20000, .seed = 7}).mean;
   const double hit_rate = RrHitRate(g, kind, seeds, 20000, /*seed=*/13);
   const double predicted = sigma / g.num_nodes();
   EXPECT_NEAR(hit_rate, predicted, 0.012)
@@ -75,7 +75,8 @@ TEST(SpreadPropertiesTest, MonotoneInEdgeProbability) {
   for (const double p : {0.01, 0.05, 0.1, 0.2}) {
     AssignConstantWeights(g, p);
     const double sigma =
-        EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds, 4000, 9)
+        EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                       {.simulations = 4000, .seed = 9})
             .mean;
     EXPECT_GE(sigma, previous - 0.2) << p;  // small MC slack
     previous = sigma;
@@ -90,7 +91,8 @@ TEST(SpreadPropertiesTest, MonotoneInSeedSetAcrossPrefixes) {
   for (NodeId v = 0; v < 20; v += 2) {
     seeds.push_back(v);
     const double sigma =
-        EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds, 3000, 5)
+        EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                       {.simulations = 3000, .seed = 5})
             .mean;
     EXPECT_GE(sigma, previous - 0.2);
     previous = sigma;
@@ -105,13 +107,16 @@ TEST(SpreadPropertiesTest, SubmodularDiminishingReturns) {
   const std::vector<NodeId> child = {1};
   const std::vector<NodeId> both = {0, 1};
   const double s_hub =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, hub, 20000, 3)
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, hub,
+                     {.simulations = 20000, .seed = 3})
           .mean;
   const double s_child =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, child, 20000, 3)
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, child,
+                     {.simulations = 20000, .seed = 3})
           .mean;
   const double s_both =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, both, 20000, 3)
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, both,
+                     {.simulations = 20000, .seed = 3})
           .mean;
   EXPECT_LT(s_both - s_hub, s_child - 0.05);
 }
@@ -125,7 +130,8 @@ TEST(SpreadPropertiesTest, LtLiveEdgeEquivalence) {
   const std::vector<NodeId> seeds = {2, 3};
 
   const double threshold_sigma =
-      EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds, 20000, 17)
+      EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds,
+                     {.simulations = 20000, .seed = 17})
           .mean;
 
   // Live-edge simulation: every node keeps one in-edge with probability

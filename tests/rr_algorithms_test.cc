@@ -103,10 +103,12 @@ TEST(RrAlgorithmsTest, TimAndImmAgreeOnQuality) {
       imm.Select(InputFor(g, 10, nullptr, DiffusionKind::kIndependentCascade))
           .seeds;
   const double tim_spread =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, tim_seeds, 2000, 1)
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, tim_seeds,
+                     {.simulations = 2000, .seed = 1})
           .mean;
   const double imm_spread =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, imm_seeds, 2000, 1)
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, imm_seeds,
+                     {.simulations = 2000, .seed = 1})
           .mean;
   EXPECT_NEAR(tim_spread, imm_spread, 0.15 * std::max(tim_spread, imm_spread));
 }
@@ -120,7 +122,7 @@ TEST(RrAlgorithmsTest, ExtrapolatedSpreadExceedsMcSpread) {
       InputFor(g, 10, nullptr, DiffusionKind::kIndependentCascade));
   const double mc_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
-                     2000, 1)
+                     {.simulations = 2000, .seed = 1})
           .mean;
   EXPECT_GE(result.internal_spread_estimate, mc_spread * 0.95);
 }

@@ -10,8 +10,9 @@ namespace {
 TEST(SpreadTest, DeterministicChainHasZeroVariance) {
   Graph g = testutil::PathGraph(5, 1.0);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 200, /*seed=*/1);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 200, .seed = 1});
   EXPECT_DOUBLE_EQ(est.mean, 5.0);
   EXPECT_DOUBLE_EQ(est.stddev, 0.0);
   EXPECT_DOUBLE_EQ(est.StdError(), 0.0);
@@ -21,10 +22,12 @@ TEST(SpreadTest, DeterministicChainHasZeroVariance) {
 TEST(SpreadTest, ReproducibleForSameSeed) {
   Graph g = testutil::HubGraph();
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate a = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 500, /*seed=*/42);
-  const SpreadEstimate b = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 500, /*seed=*/42);
+  const SpreadEstimate a =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 500, .seed = 42});
+  const SpreadEstimate b =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 500, .seed = 42});
   EXPECT_DOUBLE_EQ(a.mean, b.mean);
   EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
 }
@@ -32,8 +35,9 @@ TEST(SpreadTest, ReproducibleForSameSeed) {
 TEST(SpreadTest, MeanBoundedBySeedsAndNodes) {
   Graph g = testutil::HubGraph();
   const std::vector<NodeId> seeds = {0, 3};
-  const SpreadEstimate est = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 300, /*seed=*/7);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 300, .seed = 7});
   EXPECT_GE(est.mean, 2.0);
   EXPECT_LE(est.mean, 7.0);
 }
@@ -43,10 +47,12 @@ TEST(SpreadTest, MonotoneInSeedSet) {
   Graph g = testutil::TwoStars(0.6);
   const std::vector<NodeId> small = {0};
   const std::vector<NodeId> larger = {0, 4};
-  const SpreadEstimate s = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, small, 2000, /*seed=*/3);
-  const SpreadEstimate l = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, larger, 2000, /*seed=*/3);
+  const SpreadEstimate s =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, small,
+                     {.simulations = 2000, .seed = 3});
+  const SpreadEstimate l =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, larger,
+                     {.simulations = 2000, .seed = 3});
   EXPECT_GT(l.mean, s.mean);
 }
 
@@ -55,8 +61,9 @@ TEST(SpreadTest, HubSpreadMatchesClosedForm) {
   // E[Γ({0})] = 1 + 5·0.9 + 0.9·0.05 = 5.545.
   Graph g = testutil::HubGraph(0.9, 0.05);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 20000, /*seed=*/5);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 20000, .seed = 5});
   EXPECT_NEAR(est.mean, 5.545, 0.05);
 }
 
@@ -65,10 +72,12 @@ TEST(SpreadTest, ScratchOverloadAgreesWithStreamOverload) {
   const std::vector<NodeId> seeds = {0};
   CascadeContext ctx(g.num_nodes());
   Rng rng(17);
-  const SpreadEstimate a = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 3000, ctx, rng);
-  const SpreadEstimate b = EstimateSpread(
-      g, DiffusionKind::kIndependentCascade, seeds, 3000, /*seed=*/17);
+  const SpreadEstimate a =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 3000, .context = &ctx, .rng = &rng});
+  const SpreadEstimate b =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 3000, .seed = 17});
   EXPECT_NEAR(a.mean, b.mean, 0.2);  // same distribution, different streams
 }
 
@@ -76,7 +85,8 @@ TEST(SpreadTest, ZeroSimulations) {
   Graph g = testutil::PathGraph(3, 1.0);
   const std::vector<NodeId> seeds = {0};
   const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds, 0, 1);
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     {.simulations = 0, .seed = 1});
   EXPECT_EQ(est.simulations, 0u);
   EXPECT_DOUBLE_EQ(est.mean, 0.0);
 }
@@ -85,8 +95,9 @@ TEST(SpreadTest, LtUniformSpreadWithinBounds) {
   Graph g = testutil::TwoStars(1.0);
   AssignLtUniform(g);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est = EstimateSpread(
-      g, DiffusionKind::kLinearThreshold, seeds, 1000, /*seed=*/9);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds,
+                     {.simulations = 1000, .seed = 9});
   // Star children have in-degree 1, weight 1 => always activated.
   EXPECT_DOUBLE_EQ(est.mean, 4.0);
 }

@@ -11,7 +11,7 @@
 
 #include "common/flags.h"
 #include "common/timer.h"
-#include "diffusion/parallel_spread.h"
+#include "diffusion/spread.h"
 #include "framework/datasets.h"
 #include "framework/memory.h"
 #include "framework/registry.h"
@@ -62,8 +62,10 @@ int main(int argc, char** argv) {
   double* mem_budget = flags.AddDouble(
       "mem-budget", 0.0, "selection heap cap in MB (0 = unlimited)");
   int64_t* seed = flags.AddInt("seed", 1, "RNG seed");
-  int64_t* threads = flags.AddInt("threads", 0,
-                                  "evaluation threads (0 = hardware)");
+  int64_t* threads = flags.AddInt(
+      "threads", 0,
+      "worker threads for RR-set generation and MC evaluation "
+      "(0 = all hardware, 1 = sequential); results do not depend on it");
   bool* list = flags.AddBool("list", false, "list algorithms and exit");
   flags.Parse(argc, argv);
 
@@ -123,6 +125,7 @@ int main(int argc, char** argv) {
   input.k = static_cast<uint32_t>(*k);
   input.seed = static_cast<uint64_t>(*seed);
   input.counters = &counters;
+  input.threads = static_cast<uint32_t>(*threads);
 
   // Budgets: first Ctrl-C drains the run and reports partial seeds.
   InstallSigintCancel();
@@ -142,9 +145,11 @@ int main(int argc, char** argv) {
   const uint64_t peak = PeakHeapBytes() - heap_before;
 
   timer.Restart();
-  const SpreadEstimate sigma = EstimateSpreadParallel(
-      graph, kind, result.seeds, static_cast<uint32_t>(*mc),
-      static_cast<uint64_t>(*seed), static_cast<uint32_t>(*threads));
+  SpreadOptions eval;
+  eval.simulations = static_cast<uint32_t>(*mc);
+  eval.seed = static_cast<uint64_t>(*seed);
+  eval.threads = static_cast<uint32_t>(*threads);
+  const SpreadEstimate sigma = EstimateSpread(graph, kind, result.seeds, eval);
   const double eval_secs = timer.Seconds();
 
   std::printf("graph: %u nodes, %llu arcs; model %s; algorithm %s",

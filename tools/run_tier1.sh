@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build and test the tree twice — once optimized (release),
-# once under AddressSanitizer + UBSan (asan) — using the CMake presets at
-# the repo root. Run from anywhere:
+# Tier-1 gate: build and test the tree three times — optimized (release),
+# AddressSanitizer + UBSan (asan), and ThreadSanitizer (tsan, which runs
+# only the concurrency-sensitive suites via the preset's test filter) —
+# using the CMake presets at the repo root. Run from anywhere:
 #
-#   tools/run_tier1.sh            # both presets
+#   tools/run_tier1.sh            # all three presets
 #   tools/run_tier1.sh release    # just the optimized build
-#   tools/run_tier1.sh asan       # just the sanitizer build
+#   tools/run_tier1.sh asan tsan  # just the sanitizer builds
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,7 +14,7 @@ cd "$repo_root"
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(release asan)
+  presets=(release asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"
