@@ -12,6 +12,8 @@
 //                              hardware); results are identical either way
 //   --journal=PATH             results journal: finished cells are appended
 //                              and replayed on restart (crash-safe resume)
+//   --trace-out=PATH           per-phase trace (spans + counters) written
+//                              as JSON when the harness exits
 //   --full                     paper-fidelity settings (slow!)
 //   --csv                      mirror tables as CSV to stdout
 //
@@ -40,6 +42,7 @@ struct CommonFlags {
   double* mem_budget;
   int64_t* threads;
   std::string* journal;
+  std::string* trace_out;
   bool* full;
   bool* csv;
 };
@@ -67,6 +70,10 @@ inline CommonFlags AddCommonFlags(FlagSet& flags, int64_t default_mc = 1000,
       "journal", "",
       "results journal path: completed cells are appended and replayed on "
       "restart, so interrupted grids resume where they stopped");
+  c.trace_out = flags.AddString(
+      "trace-out", "",
+      "write the harness-wide per-phase trace (spans + counters) as JSON "
+      "to this file when the run finishes");
   c.full = flags.AddBool("full", false,
                          "paper-fidelity settings: all datasets, k to 200, "
                          "Table 2 parameters, 10K evaluation simulations");
@@ -85,6 +92,7 @@ inline WorkbenchOptions ToWorkbenchOptions(const CommonFlags& c) {
       static_cast<uint64_t>(*c.mem_budget * 1024.0 * 1024.0);
   options.threads = static_cast<uint32_t>(*c.threads);
   options.journal_path = *c.journal;
+  options.trace_out_path = *c.trace_out;
   // Side effect: from here on the first Ctrl-C drains the current cell
   // instead of killing the process.
   InstallSigintCancel();

@@ -20,6 +20,7 @@
 namespace imbench {
 
 class ThreadPool;
+class Trace;
 
 // Instrumentation counters filled in by algorithms as they run. Node
 // lookups are the metric of Appendix C (spread evaluations per iteration).
@@ -49,6 +50,10 @@ struct SelectionInput {
   uint32_t threads = 1;
   // Pool override for tests and benchmarks; null = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  // Optional phase-level trace (framework/trace.h). Algorithms open spans
+  // around their canonical phases ("sample", "select", ...) and bump typed
+  // counters; null costs nothing.
+  Trace* trace = nullptr;
 };
 
 // Output of a seed-selection run.

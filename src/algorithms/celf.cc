@@ -3,6 +3,7 @@
 #include "algorithms/lazy_queue.h"
 #include "common/check.h"
 #include "diffusion/spread.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -17,6 +18,7 @@ SelectionResult Celf::Select(const SelectionInput& input) {
   mc.guard = input.guard;
   mc.context = &context;
   mc.rng = &rng;
+  mc.trace = input.trace;
 
   SelectionResult result;
   std::vector<NodeId> seeds;
@@ -41,8 +43,12 @@ SelectionResult Celf::Select(const SelectionInput& input) {
         EstimateSpread(graph, input.diffusion, candidate, mc).mean;
     seeds.push_back(v);
   };
-  result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
-                            input.counters, input.guard);
+  {
+    Span select_span(input.trace, "select");
+    result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain,
+                              commit, input.counters, input.guard,
+                              input.trace);
+  }
   result.stop_reason = GuardReason(input.guard);
   result.internal_spread_estimate = current_spread;
   return result;

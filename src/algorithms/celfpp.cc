@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "diffusion/cascade.h"
+#include "framework/trace.h"
 
 namespace imbench {
 namespace {
@@ -58,6 +59,7 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
       ++done;
     }
     CountSimulations(input.counters, done);
+    TraceAdd(input.trace, TraceCounter::kSimulations, done);
     // Normalize by the simulations that actually ran so a truncated batch
     // still yields an unbiased (just noisier) estimate.
     spread_v = done > 0 ? sum1 / done : 0;
@@ -66,11 +68,14 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
 
   // Initial pass: mg1 = σ({v}); mg2 = σ({v, cur_best}) − σ({cur_best})
   // where σ({cur_best}) = cur_best's mg1 (S is empty).
+  Span select_span(input.trace, "select");
   std::vector<Entry> heap;
   heap.reserve(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(input.guard)) break;
     CountSpreadEvaluation(input.counters);
+    TraceAdd(input.trace, TraceCounter::kNodeLookups);
     const bool with_best = cur_best != kInvalidNode;
     double spread_v = 0, spread_v_best = 0;
     estimate_pair(v, with_best, spread_v, spread_v_best);
@@ -89,6 +94,7 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
     std::pop_heap(heap.begin(), heap.end());
     Entry top = heap.back();
     heap.pop_back();
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     const bool stopped = GuardShouldStop(input.guard);
     if (top.flag == seeds.size() || stopped) {
       // Fresh entry, or draining: take the stale upper bound and skip the
@@ -101,6 +107,7 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
       // letting that bias build up deflates every subsequent re-evaluated
       // gain, degrading the lazy queue into near-exhaustive search.
       CountSimulations(input.counters, options_.simulations);
+      TraceAdd(input.trace, TraceCounter::kSimulations, options_.simulations);
       candidate = seeds;
       double sum = 0;
       for (uint32_t i = 0; i < options_.simulations; ++i) {
@@ -117,6 +124,8 @@ SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
       top.mg1 = top.mg2;
     } else {
       CountSpreadEvaluation(input.counters);
+      TraceAdd(input.trace, TraceCounter::kNodeLookups);
+      TraceAdd(input.trace, TraceCounter::kQueueReevaluations);
       const bool with_best = cur_best != kInvalidNode;
       double spread_v = 0, spread_v_best = 0;
       estimate_pair(top.node, with_best, spread_v, spread_v_best);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "diffusion/spread.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -20,6 +21,7 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
   mc.guard = input.guard;
   mc.context = &context;
   mc.rng = &rng;
+  mc.trace = input.trace;
 
   std::vector<uint8_t> is_seed(n, 0);
   // One score per node — the entire working state of the algorithm.
@@ -51,15 +53,21 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
     }
     score.swap(prev);
     if (input.counters != nullptr) ++input.counters->scoring_rounds;
+    TraceAdd(input.trace, TraceCounter::kScoringRounds);
   };
 
   SelectionResult result;
+  Span select_span(input.trace, "select");
   std::vector<NodeId> candidate_set;
   std::vector<NodeId> with_candidate;
   double current_spread = 0;
   while (result.seeds.size() < input.k) {
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardStopped(input.guard)) break;
-    recompute_scores();
+    {
+      Span score_span(input.trace, "score");
+      recompute_scores();
+    }
     // Collect the top-c scorers.
     const uint32_t c = std::max<uint32_t>(1, options_.candidates);
     candidate_set.clear();
@@ -91,10 +99,12 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
       // Validate candidates with r MC simulations each.
       double best_spread = -1;
       for (const NodeId v : candidate_set) {
+        TraceAdd(input.trace, TraceCounter::kGuardPolls);
         if (GuardShouldStop(input.guard)) break;
         with_candidate = result.seeds;
         with_candidate.push_back(v);
         CountSpreadEvaluation(input.counters);
+        TraceAdd(input.trace, TraceCounter::kNodeLookups);
         CountSimulations(input.counters, options_.simulations);
         const SpreadEstimate est =
             EstimateSpread(graph, input.diffusion, with_candidate, mc);

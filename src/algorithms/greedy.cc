@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "diffusion/spread.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -17,14 +18,17 @@ SelectionResult Greedy::Select(const SelectionInput& input) {
   mc.guard = input.guard;
   mc.context = &context;
   mc.rng = &rng;
+  mc.trace = input.trace;
 
   SelectionResult result;
+  Span select_span(input.trace, "select");
   std::vector<NodeId> candidate;  // S ∪ {v} scratch
   double current_spread = 0;
   while (result.seeds.size() < input.k) {
     NodeId best = kInvalidNode;
     double best_gain = -1;
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      TraceAdd(input.trace, TraceCounter::kGuardPolls);
       if (GuardShouldStop(input.guard)) break;
       bool already_seed = false;
       for (const NodeId s : result.seeds) already_seed |= (s == v);
@@ -32,6 +36,7 @@ SelectionResult Greedy::Select(const SelectionInput& input) {
       candidate = result.seeds;
       candidate.push_back(v);
       CountSpreadEvaluation(input.counters);
+      TraceAdd(input.trace, TraceCounter::kNodeLookups);
       CountSimulations(input.counters, options_.simulations);
       const SpreadEstimate estimate =
           EstimateSpread(graph, input.diffusion, candidate, mc);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -21,6 +22,7 @@ std::vector<NodeId> RankByScore(const std::vector<double>& score) {
 SelectionResult DegreeHeuristic::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
+  Span select_span(input.trace, "select");
   std::vector<double> score(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     score[v] = graph.OutDegree(v);
@@ -41,7 +43,9 @@ SelectionResult DegreeDiscount::Select(const SelectionInput& input) {
   for (NodeId v = 0; v < n; ++v) discounted[v] = graph.OutDegree(v);
 
   SelectionResult result;
+  Span select_span(input.trace, "select");
   while (result.seeds.size() < input.k) {
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(input.guard)) break;
     NodeId best = kInvalidNode;
     double best_score = -1;
@@ -72,10 +76,13 @@ SelectionResult PageRankHeuristic::Select(const SelectionInput& input) {
   const NodeId n = graph.num_nodes();
   std::vector<double> rank(n, 1.0 / n);
   std::vector<double> next(n, 0.0);
+  Span score_span(input.trace, "score");
   for (uint32_t iter = 0; iter < options_.iterations; ++iter) {
     // Stopping early just ranks by a less-converged vector; the top-k is
     // still complete.
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(input.guard)) break;
+    TraceAdd(input.trace, TraceCounter::kScoringRounds);
     std::fill(next.begin(), next.end(), (1.0 - options_.damping) / n);
     double dangling = 0;
     for (NodeId v = 0; v < n; ++v) {
@@ -95,9 +102,13 @@ SelectionResult PageRankHeuristic::Select(const SelectionInput& input) {
     for (NodeId v = 0; v < n; ++v) next[v] += dangling_share;
     rank.swap(next);
   }
-  const std::vector<NodeId> order = RankByScore(rank);
+  score_span.Close();
   SelectionResult result;
-  result.seeds.assign(order.begin(), order.begin() + input.k);
+  {
+    Span select_span(input.trace, "select");
+    const std::vector<NodeId> order = RankByScore(rank);
+    result.seeds.assign(order.begin(), order.begin() + input.k);
+  }
   result.stop_reason = GuardReason(input.guard);
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "diffusion/rr_sets.h"
+#include "framework/trace.h"
 
 namespace imbench {
 namespace {
@@ -36,6 +37,7 @@ SelectionResult Imm::Select(const SelectionInput& input) {
   sampler_options.threads = input.threads;
   sampler_options.max_total_entries = options_.max_rr_entries;
   sampler_options.pool = input.pool;
+  sampler_options.trace = input.trace;
   std::unique_ptr<RrEngine> engine = MakeRrEngine(graph, sampler_options);
 
   RrCollection sets(graph.num_nodes());
@@ -46,50 +48,62 @@ SelectionResult Imm::Select(const SelectionInput& input) {
     const RrBatchResult batch =
         engine->Generate(input.seed, target - sets.size(), sets, nullptr);
     if (input.counters != nullptr) input.counters->rr_sets += batch.generated;
+    TraceAdd(input.trace, TraceCounter::kRrSets, batch.generated);
     stop = batch.stop;
   };
 
-  // --- Phase 1: lower-bound OPT via martingale stopping (Alg. 2). ---
   const double log2n = std::max(1.0, std::log2(n));
   const double eps_prime = std::sqrt(2.0) * eps;
   const double log_comb = LogChoose(n, k);
-  const double lambda_prime =
-      (2.0 + 2.0 / 3.0 * eps_prime) *
-      (log_comb + ell * std::log(n) + std::log(std::max(1.0, log2n))) * n /
-      (eps_prime * eps_prime);
-  double lower_bound = 1.0;
-  for (int i = 1; i < static_cast<int>(log2n) && stop == StopReason::kNone;
-       ++i) {
-    const double x = n / std::pow(2.0, i);
-    const uint64_t theta_i =
-        static_cast<uint64_t>(std::ceil(lambda_prime / x));
-    generate_until(theta_i);
-    double fraction = 0;
-    sets.GreedyMaxCover(k, &fraction);
-    if (n * fraction >= (1.0 + eps_prime) * x) {
-      lower_bound = n * fraction / (1.0 + eps_prime);
-      break;
+  {
+    Span sample_span(input.trace, "sample");
+    // --- Phase 1: lower-bound OPT via martingale stopping (Alg. 2). ---
+    const double lambda_prime =
+        (2.0 + 2.0 / 3.0 * eps_prime) *
+        (log_comb + ell * std::log(n) + std::log(std::max(1.0, log2n))) * n /
+        (eps_prime * eps_prime);
+    double lower_bound = 1.0;
+    {
+      Span bound_span(input.trace, "bound");
+      for (int i = 1;
+           i < static_cast<int>(log2n) && stop == StopReason::kNone; ++i) {
+        const double x = n / std::pow(2.0, i);
+        const uint64_t theta_i =
+            static_cast<uint64_t>(std::ceil(lambda_prime / x));
+        generate_until(theta_i);
+        double fraction = 0;
+        sets.GreedyMaxCover(k, &fraction);
+        if (n * fraction >= (1.0 + eps_prime) * x) {
+          lower_bound = n * fraction / (1.0 + eps_prime);
+          break;
+        }
+      }
     }
-  }
 
-  // --- Phase 2: θ = λ* / LB final sample (Alg. 3). ---
-  const double alpha = std::sqrt(ell * std::log(n) + std::log(2.0));
-  const double beta = std::sqrt(
-      (1.0 - 1.0 / std::exp(1.0)) * (log_comb + ell * std::log(n) + std::log(2.0)));
-  const double e_factor = 1.0 - 1.0 / std::exp(1.0);
-  const double lambda_star =
-      2.0 * n * (e_factor * alpha + beta) * (e_factor * alpha + beta) /
-      (eps * eps);
-  const uint64_t theta =
-      static_cast<uint64_t>(std::ceil(std::max(1.0, lambda_star / lower_bound)));
-  generate_until(theta);
+    // --- Phase 2: θ = λ* / LB final sample (Alg. 3). ---
+    const double alpha = std::sqrt(ell * std::log(n) + std::log(2.0));
+    const double beta =
+        std::sqrt((1.0 - 1.0 / std::exp(1.0)) *
+                  (log_comb + ell * std::log(n) + std::log(2.0)));
+    const double e_factor = 1.0 - 1.0 / std::exp(1.0);
+    const double lambda_star =
+        2.0 * n * (e_factor * alpha + beta) * (e_factor * alpha + beta) /
+        (eps * eps);
+    const uint64_t theta = static_cast<uint64_t>(
+        std::ceil(std::max(1.0, lambda_star / lower_bound)));
+    Span final_span(input.trace, "final");
+    generate_until(theta);
+  }
 
   // Max cover over whatever corpus exists is the natural best effort: the
   // seeds are still the greedy optimum for the sampled sets, just with a
   // weaker approximation guarantee.
   SelectionResult result;
   double covered_fraction = 0;
-  result.seeds = sets.GreedyMaxCover(k, &covered_fraction);
+  {
+    Span select_span(input.trace, "select");
+    result.seeds = sets.GreedyMaxCover(k, &covered_fraction);
+  }
   result.internal_spread_estimate = covered_fraction * n;
   result.stop_reason = stop;
   return result;

@@ -5,6 +5,7 @@
 
 #include "algorithms/heuristics.h"
 #include "common/check.h"
+#include "framework/trace.h"
 
 namespace imbench {
 namespace {
@@ -52,11 +53,14 @@ SelectionResult ImRank::Select(const SelectionInput& input) {
 
   std::vector<double> mass(n);
   std::vector<NodeId> previous_topk;
+  Span score_span(input.trace, "score");
   for (uint32_t round = 0; round < options_.scoring_rounds; ++round) {
     // Even a zero-round run returns a full top-k from the degree ordering,
     // so stopping here only costs ranking refinement, never seeds.
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(input.guard)) break;
     if (input.counters != nullptr) ++input.counters->scoring_rounds;
+    TraceAdd(input.trace, TraceCounter::kScoringRounds);
     std::fill(mass.begin(), mass.end(), 1.0);
     for (uint32_t sweep = 0; sweep < std::max<uint32_t>(1, options_.l);
          ++sweep) {
@@ -77,8 +81,13 @@ SelectionResult ImRank::Select(const SelectionInput& input) {
     }
   }
 
+  score_span.Close();
+
   SelectionResult result;
-  result.seeds.assign(order.begin(), order.begin() + input.k);
+  {
+    Span select_span(input.trace, "select");
+    result.seeds.assign(order.begin(), order.begin() + input.k);
+  }
   result.stop_reason = GuardReason(input.guard);
   return result;
 }

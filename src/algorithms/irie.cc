@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -57,7 +58,9 @@ SelectionResult Irie::Select(const SelectionInput& input) {
   };
 
   SelectionResult result;
+  Span select_span(input.trace, "select");
   while (result.seeds.size() < input.k) {
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(input.guard)) break;
     // Rank iteration under the current AP discounts.
     std::fill(rank.begin(), rank.end(), 1.0);
@@ -79,6 +82,8 @@ SelectionResult Irie::Select(const SelectionInput& input) {
       rank.swap(next);
     }
     CountSpreadEvaluation(input.counters);
+    TraceAdd(input.trace, TraceCounter::kNodeLookups);
+    TraceAdd(input.trace, TraceCounter::kScoringRounds);
 
     NodeId best = kInvalidNode;
     double best_rank = -1;

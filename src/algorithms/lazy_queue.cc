@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "framework/trace.h"
+
 namespace imbench {
 namespace {
 
@@ -23,13 +25,15 @@ std::vector<NodeId> CelfSelect(
     NodeId num_nodes, uint32_t k,
     const std::function<double(NodeId)>& marginal_gain,
     const std::function<void(NodeId)>& commit, Counters* counters,
-    RunGuard* guard) {
+    RunGuard* guard, Trace* trace) {
   std::vector<Entry> heap;
   heap.reserve(num_nodes);
   // Round 0: evaluate every node once (the unavoidable first pass).
   for (NodeId v = 0; v < num_nodes; ++v) {
+    TraceAdd(trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(guard)) break;
     CountSpreadEvaluation(counters);
+    TraceAdd(trace, TraceCounter::kNodeLookups);
     heap.push_back(Entry{marginal_gain(v), v, 0});
   }
   std::make_heap(heap.begin(), heap.end());
@@ -40,6 +44,7 @@ std::vector<NodeId> CelfSelect(
     std::pop_heap(heap.begin(), heap.end());
     Entry top = heap.back();
     heap.pop_back();
+    TraceAdd(trace, TraceCounter::kGuardPolls);
     const bool stopped = GuardShouldStop(guard);
     if (top.round == seeds.size() || stopped) {
       // Fresh entry, or draining: accept the stale upper bound rather than
@@ -50,6 +55,8 @@ std::vector<NodeId> CelfSelect(
     }
     // Stale: refresh against the current seed set and reinsert.
     CountSpreadEvaluation(counters);
+    TraceAdd(trace, TraceCounter::kNodeLookups);
+    TraceAdd(trace, TraceCounter::kQueueReevaluations);
     top.gain = marginal_gain(top.node);
     top.round = static_cast<uint32_t>(seeds.size());
     heap.push_back(top);

@@ -33,11 +33,13 @@ namespace imbench {
 // sensible ranking under submodularity) so a fully-built queue can cheaply
 // fill the remaining slots. `commit` is not called for those degraded picks
 // since the caller's incremental state no longer matters.
+// `trace` (optional) receives kNodeLookups per gain evaluation,
+// kQueueReevaluations per stale refresh and kGuardPolls per guard poll.
 std::vector<NodeId> CelfSelect(
     NodeId num_nodes, uint32_t k,
     const std::function<double(NodeId)>& marginal_gain,
     const std::function<void(NodeId)>& commit, Counters* counters,
-    RunGuard* guard = nullptr);
+    RunGuard* guard = nullptr, Trace* trace = nullptr);
 
 }  // namespace imbench
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "framework/trace.h"
 
 namespace imbench {
 namespace {
@@ -190,30 +191,39 @@ SelectionResult Ldag::Select(const SelectionInput& input) {
   dags.reserve(n);
   DagScratch scratch(n);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> member_of(n);
-  for (NodeId v = 0; v < n; ++v) {
-    // A tripped budget leaves some nodes without a DAG: they simply score 0
-    // below, so selection still ranks whatever influence was computed.
-    if (GuardShouldStop(input.guard)) break;
-    LocalDag dag = BuildLocalDag(graph, v, theta, scratch);
-    const uint32_t dag_id = static_cast<uint32_t>(dags.size());
-    for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
-      member_of[dag.nodes[i]].emplace_back(dag_id, i);
+  {
+    Span build_span(input.trace, "build");
+    for (NodeId v = 0; v < n; ++v) {
+      // A tripped budget leaves some nodes without a DAG: they simply score
+      // 0 below, so selection still ranks whatever influence was computed.
+      TraceAdd(input.trace, TraceCounter::kGuardPolls);
+      if (GuardShouldStop(input.guard)) break;
+      LocalDag dag = BuildLocalDag(graph, v, theta, scratch);
+      const uint32_t dag_id = static_cast<uint32_t>(dags.size());
+      for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
+        member_of[dag.nodes[i]].emplace_back(dag_id, i);
+      }
+      dags.push_back(std::move(dag));
     }
-    dags.push_back(std::move(dag));
   }
 
   std::vector<uint8_t> is_seed(n, 0);
   std::vector<double> inc_inf(n, 0.0);
-  for (auto& dag : dags) {
-    if (GuardShouldStop(input.guard)) break;
-    Solve(dag, is_seed);
-    for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
-      inc_inf[dag.nodes[i]] += dag.alpha[i] * (1.0 - dag.ap[i]);
+  {
+    Span score_span(input.trace, "score");
+    for (auto& dag : dags) {
+      TraceAdd(input.trace, TraceCounter::kGuardPolls);
+      if (GuardShouldStop(input.guard)) break;
+      Solve(dag, is_seed);
+      for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
+        inc_inf[dag.nodes[i]] += dag.alpha[i] * (1.0 - dag.ap[i]);
+      }
     }
   }
 
   SelectionResult result;
   double total_influence = 0;
+  Span select_span(input.trace, "select");
   while (result.seeds.size() < input.k) {
     NodeId best = kInvalidNode;
     double best_inf = -1;
@@ -225,12 +235,14 @@ SelectionResult Ldag::Select(const SelectionInput& input) {
     }
     if (best == kInvalidNode) break;
     CountSpreadEvaluation(input.counters);
+    TraceAdd(input.trace, TraceCounter::kNodeLookups);
     total_influence += best_inf;
     is_seed[best] = 1;
     result.seeds.push_back(best);
 
     // When draining, keep picking by the (now stale) scores — the scan above
     // is cheap — but skip the expensive incremental re-solves.
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (GuardShouldStop(input.guard)) continue;
 
     // Incremental update: only the DAGs containing the new seed change.

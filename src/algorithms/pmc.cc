@@ -6,6 +6,7 @@
 #include "algorithms/lazy_queue.h"
 #include "algorithms/snapshots.h"
 #include "common/check.h"
+#include "framework/trace.h"
 #include "graph/scc.h"
 
 namespace imbench {
@@ -65,11 +66,16 @@ SelectionResult Pmc::Select(const SelectionInput& input) {
 
   std::vector<ContractedSnapshot> snapshots;
   snapshots.reserve(R);
-  for (uint32_t i = 0; i < R; ++i) {
-    if (GuardShouldStop(input.guard)) break;
-    const Snapshot snap = SampleSnapshot(graph, rng);
-    snapshots.push_back(Contract(graph.num_nodes(), snap));
-    if (input.counters != nullptr) ++input.counters->snapshots;
+  {
+    Span sample_span(input.trace, "sample");
+    for (uint32_t i = 0; i < R; ++i) {
+      TraceAdd(input.trace, TraceCounter::kGuardPolls);
+      if (GuardShouldStop(input.guard)) break;
+      const Snapshot snap = SampleSnapshot(graph, rng);
+      snapshots.push_back(Contract(graph.num_nodes(), snap));
+      if (input.counters != nullptr) ++input.counters->snapshots;
+      TraceAdd(input.trace, TraceCounter::kSnapshots);
+    }
   }
   // Average over the snapshots actually sampled; a truncated run keeps the
   // estimates unbiased, just noisier.
@@ -131,8 +137,12 @@ SelectionResult Pmc::Select(const SelectionInput& input) {
   };
 
   SelectionResult result;
-  result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
-                            input.counters, input.guard);
+  {
+    Span select_span(input.trace, "select");
+    result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain,
+                              commit, input.counters, input.guard,
+                              input.trace);
+  }
   result.internal_spread_estimate = selected_spread;
   result.stop_reason = GuardReason(input.guard);
   return result;

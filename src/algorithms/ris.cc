@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "diffusion/rr_sets.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -15,6 +16,7 @@ SelectionResult Ris::Select(const SelectionInput& input) {
   sampler_options.threads = input.threads;
   sampler_options.max_total_entries = options_.max_rr_entries;
   sampler_options.pool = input.pool;
+  sampler_options.trace = input.trace;
   std::unique_ptr<RrEngine> engine = MakeRrEngine(graph, sampler_options);
 
   RrCollection sets(graph.num_nodes());
@@ -32,6 +34,7 @@ SelectionResult Ris::Select(const SelectionInput& input) {
   double examined = 0;
   StopReason stop = StopReason::kNone;
   std::vector<uint64_t> widths;
+  Span sample_span(input.trace, "sample");
   while (examined < budget && stop == StopReason::kNone) {
     widths.clear();
     const size_t before = sets.size();
@@ -58,13 +61,18 @@ SelectionResult Ris::Select(const SelectionInput& input) {
       stop = batch.stop;
     }
     if (input.counters != nullptr) input.counters->rr_sets += kept;
+    TraceAdd(input.trace, TraceCounter::kRrSets, kept);
     if (batch.generated == 0 && batch.stop == StopReason::kNone) break;
   }
+  sample_span.Close();
 
   // Max cover over the partial corpus is still the best-effort answer.
   SelectionResult result;
   double covered_fraction = 0;
-  result.seeds = sets.GreedyMaxCover(input.k, &covered_fraction);
+  {
+    Span select_span(input.trace, "select");
+    result.seeds = sets.GreedyMaxCover(input.k, &covered_fraction);
+  }
   result.internal_spread_estimate =
       covered_fraction * static_cast<double>(graph.num_nodes());
   result.stop_reason = stop;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "framework/trace.h"
 
 namespace imbench {
 namespace {
@@ -124,10 +125,15 @@ SelectionResult Simpath::Select(const SelectionInput& input) {
   // header). These are exact under the η truncation, so CELF applies.
   std::vector<CelfEntry> heap;
   heap.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    if (GuardShouldStop(input.guard)) break;
-    CountSpreadEvaluation(input.counters);
-    heap.push_back(CelfEntry{enumerator.Enumerate(v), v, 0});
+  {
+    Span score_span(input.trace, "score");
+    for (NodeId v = 0; v < n; ++v) {
+      TraceAdd(input.trace, TraceCounter::kGuardPolls);
+      if (GuardShouldStop(input.guard)) break;
+      CountSpreadEvaluation(input.counters);
+      TraceAdd(input.trace, TraceCounter::kNodeLookups);
+      heap.push_back(CelfEntry{enumerator.Enumerate(v), v, 0});
+    }
   }
   std::make_heap(heap.begin(), heap.end());
 
@@ -136,10 +142,12 @@ SelectionResult Simpath::Select(const SelectionInput& input) {
 
   std::vector<NodeId> batch;
   std::vector<CelfEntry> batch_entries;
+  Span select_span(input.trace, "select");
   while (seeds.size() < input.k && !heap.empty()) {
     std::pop_heap(heap.begin(), heap.end());
     CelfEntry top = heap.back();
     heap.pop_back();
+    TraceAdd(input.trace, TraceCounter::kGuardPolls);
     if (top.round == seeds.size() || GuardShouldStop(input.guard)) {
       // Fresh top entry — or draining, in which case the stale upper bound
       // is the best ranking we can afford.
@@ -183,6 +191,8 @@ SelectionResult Simpath::Select(const SelectionInput& input) {
     // σ^{V−S}(c) per candidate (seeds are still banned).
     for (size_t i = 0; i < batch.size(); ++i) {
       CountSpreadEvaluation(input.counters);
+      TraceAdd(input.trace, TraceCounter::kNodeLookups);
+      TraceAdd(input.trace, TraceCounter::kQueueReevaluations);
       const double sigma_c_without_s = enumerator.Enumerate(batch[i]);
       const double gain = sigma_minus_c[i] + sigma_c_without_s - sigma_s_fresh;
       for (CelfEntry& entry : batch_entries) {

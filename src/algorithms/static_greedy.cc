@@ -5,6 +5,7 @@
 #include "algorithms/lazy_queue.h"
 #include "algorithms/snapshots.h"
 #include "common/check.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -16,10 +17,15 @@ SelectionResult StaticGreedy::Select(const SelectionInput& input) {
 
   std::vector<Snapshot> snapshots;
   snapshots.reserve(R);
-  for (uint32_t i = 0; i < R; ++i) {
-    if (GuardShouldStop(input.guard)) break;
-    snapshots.push_back(SampleSnapshot(graph, rng));
-    if (input.counters != nullptr) ++input.counters->snapshots;
+  {
+    Span sample_span(input.trace, "sample");
+    for (uint32_t i = 0; i < R; ++i) {
+      TraceAdd(input.trace, TraceCounter::kGuardPolls);
+      if (GuardShouldStop(input.guard)) break;
+      snapshots.push_back(SampleSnapshot(graph, rng));
+      if (input.counters != nullptr) ++input.counters->snapshots;
+      TraceAdd(input.trace, TraceCounter::kSnapshots);
+    }
   }
   // Work with however many snapshots were actually sampled; averaging by
   // the real count keeps the estimates unbiased on a truncated run.
@@ -94,8 +100,12 @@ SelectionResult StaticGreedy::Select(const SelectionInput& input) {
   };
 
   SelectionResult result;
-  result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain, commit,
-                            input.counters, input.guard);
+  {
+    Span select_span(input.trace, "select");
+    result.seeds = CelfSelect(graph.num_nodes(), input.k, marginal_gain,
+                              commit, input.counters, input.guard,
+                              input.trace);
+  }
   result.internal_spread_estimate = selected_spread;
   result.stop_reason = GuardReason(input.guard);
   return result;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -49,6 +50,7 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
   };
 
   uint64_t generated_total = 0;
+  uint64_t edges_examined = 0;  // merged-prefix sets only (deterministic)
   bool draining = false;
   while (generated_total < count && !draining) {
     const uint64_t remaining = count - generated_total;
@@ -99,6 +101,7 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
       for (size_t i = 0; i < batch.sets.size(); ++i) {
         out.Add(std::move(batch.sets[i]));
         if (widths != nullptr) widths->push_back(batch.set_widths[i]);
+        edges_examined += batch.set_widths[i];
         ++next_index_;
         ++generated_total;
         ++result.generated;
@@ -109,6 +112,8 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
         if (options_.max_total_entries != 0 &&
             out.TotalEntries() > options_.max_total_entries) {
           result.stop = StopReason::kMemory;
+          TraceAdd(options_.trace, TraceCounter::kRrEdgesExamined,
+                   edges_examined);
           return result;
         }
       }
@@ -122,6 +127,7 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
 
   stop_state.Propagate();
   result.stop = stop_state.reason();
+  TraceAdd(options_.trace, TraceCounter::kRrEdgesExamined, edges_examined);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "diffusion/parallel_rr.h"
 #include "framework/run_guard.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -20,6 +21,7 @@ RrSampler::RrSampler(const Graph& graph, const SamplerOptions& options)
     : graph_(graph),
       kind_(options.kind),
       guard_(options.guard),
+      trace_(options.trace),
       max_total_entries_(options.max_total_entries),
       visited_stamp_(graph.num_nodes(), 0) {}
 
@@ -51,6 +53,7 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
                                   std::vector<uint64_t>* widths) {
   RrBatchResult result;
   std::vector<NodeId> scratch;
+  uint64_t edges_examined = 0;
   for (uint64_t i = 0; i < count; ++i) {
     if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) break;
     if (GuardShouldStop(guard_)) {
@@ -67,6 +70,7 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
     out.Add(std::move(scratch));
     scratch.clear();
     if (widths != nullptr) widths->push_back(width);
+    edges_examined += width;
     ++result.generated;
     // The entry cap is the sampler's own safety valve: report kMemory but
     // leave the caller's run-wide guard alone so the post-selection
@@ -79,6 +83,7 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
   if (result.stop == StopReason::kNone && GuardStopped(guard_)) {
     result.stop = guard_->reason();
   }
+  TraceAdd(trace_, TraceCounter::kRrEdgesExamined, edges_examined);
   return result;
 }
 

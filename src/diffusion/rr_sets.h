@@ -34,6 +34,7 @@
 namespace imbench {
 
 class ThreadPool;
+class Trace;
 
 // Common constructor shape for the RR-set engines: diffusion kind, optional
 // run guard, worker threads. Shared by RrSampler, ParallelRrSampler and the
@@ -53,6 +54,13 @@ struct SamplerOptions {
   uint64_t max_total_entries = 0;
   // Pool override for tests and benchmarks; null = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  // Optional trace: engines add the examined-edge count of every appended
+  // set to kRrEdgesExamined, always from the coordinating thread and only
+  // for the merged prefix, so the totals are thread-count-invariant.
+  // Callers bump kRrSets themselves alongside Counters::rr_sets (RIS may
+  // truncate a chunk after generation, and only the caller knows the kept
+  // count).
+  Trace* trace = nullptr;
 };
 
 // Outcome of one batched generation request.
@@ -125,6 +133,7 @@ class RrSampler : public RrEngine {
   const Graph& graph_;
   DiffusionKind kind_;
   RunGuard* guard_;
+  Trace* trace_ = nullptr;
   const std::atomic<bool>* abort_ = nullptr;
   uint64_t max_total_entries_ = 0;
   uint64_t next_index_ = 0;  // stream cursor for batched generation

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "framework/run_guard.h"
+#include "framework/trace.h"
 
 namespace imbench {
 namespace {
@@ -115,16 +116,24 @@ SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
   // σ(∅) = 0 exactly; skip the r pointless simulations (a cell cancelled
   // before its first pick reaches here with no seeds).
   if (seeds.empty()) return SpreadEstimate{};
+  SpreadEstimate estimate;
   if (options.rng != nullptr) {
-    return EstimateStreaming(graph, kind, seeds, options);
+    estimate = EstimateStreaming(graph, kind, seeds, options);
+  } else {
+    const uint32_t threads = EffectiveThreads(options.threads);
+    ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : ThreadPool::Shared();
+    if (threads <= 1 || pool.worker_count() == 0 ||
+        options.simulations <= 1) {
+      estimate = EstimateSequential(graph, kind, seeds, options);
+    } else {
+      estimate = EstimateParallel(graph, kind, seeds, options, pool, threads);
+    }
   }
-  const uint32_t threads = EffectiveThreads(options.threads);
-  ThreadPool& pool =
-      options.pool != nullptr ? *options.pool : ThreadPool::Shared();
-  if (threads <= 1 || pool.worker_count() == 0 || options.simulations <= 1) {
-    return EstimateSequential(graph, kind, seeds, options);
-  }
-  return EstimateParallel(graph, kind, seeds, options, pool, threads);
+  // Completed-simulation count is aggregated on this thread and identical
+  // for every thread count, so the trace stays deterministic.
+  TraceAdd(options.trace, TraceCounter::kSimulations, estimate.simulations);
+  return estimate;
 }
 
 }  // namespace imbench

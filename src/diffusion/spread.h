@@ -19,6 +19,7 @@ namespace imbench {
 
 class RunGuard;
 class ThreadPool;
+class Trace;
 
 // Number of MC simulations Kempe et al. recommend and the study adopts for
 // final spread evaluation (Sec. 5.1 "Computing expected spread").
@@ -52,6 +53,10 @@ struct SpreadOptions {
   Rng* rng = nullptr;
   // Pool override for tests and benchmarks; null = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  // Optional trace: completed simulations are added to its kSimulations
+  // counter (thread-count-invariant; no spans are opened here because tight
+  // greedy loops call EstimateSpread thousands of times).
+  Trace* trace = nullptr;
 };
 
 // Runs options.simulations cascades of `seeds` and aggregates Γ(S). An

@@ -6,6 +6,7 @@
 #include "framework/journal.h"
 #include "framework/metrics.h"
 #include "framework/run_guard.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -29,9 +30,16 @@ Workbench::Workbench(const WorkbenchOptions& options) : options_(options) {
   if (!options_.journal_path.empty()) {
     journal_ = std::make_unique<ResultJournal>(options_.journal_path);
   }
+  if (!options_.trace_out_path.empty()) {
+    trace_ = std::make_unique<Trace>();
+  }
 }
 
-Workbench::~Workbench() = default;
+Workbench::~Workbench() {
+  if (trace_ != nullptr) {
+    trace_->WriteJsonFile(options_.trace_out_path);
+  }
+}
 
 bool Workbench::cancelled() const {
   return options_.cancel != nullptr &&
@@ -103,6 +111,7 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
   }
   const Graph& graph = GetGraph(dataset, model, ic_probability);
 
+  Span cell_span(trace_.get(), "cell");
   SelectionInput input;
   input.graph = &graph;
   input.diffusion = kind;
@@ -110,6 +119,7 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
   input.seed = options_.seed;
   input.counters = &result.counters;
   input.threads = options_.threads;
+  input.trace = trace_.get();
 
   RunBudget budget;
   budget.deadline_seconds = options_.time_budget_seconds;
@@ -157,7 +167,10 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
     eval.simulations = options_.evaluation_simulations;
     eval.seed = options_.seed ^ 0x5f12ead0c0ffeeULL;
     eval.threads = options_.threads;
+    eval.trace = trace_.get();
+    Span evaluate_span(trace_.get(), "evaluate");
     result.spread = EstimateSpread(graph, kind, result.seeds, eval);
+    evaluate_span.Close();
   }
   // Journal everything except cancelled cells: a cancelled cell is an
   // artifact of when Ctrl-C landed, and the resumed run should redo it.

@@ -21,6 +21,7 @@
 namespace imbench {
 
 class ResultJournal;
+class Trace;
 
 // Result of one benchmark cell.
 struct CellResult {
@@ -72,6 +73,10 @@ struct WorkbenchOptions {
   uint32_t threads = 1;
   // Path of the results journal; empty disables journaling.
   std::string journal_path;
+  // When non-empty the workbench owns a Trace, wraps every cell in a
+  // "cell" span (selection phases nested inside, plus an "evaluate" span
+  // for the MC pass), and writes the per-phase JSON here on destruction.
+  std::string trace_out_path;
 };
 
 class Workbench {
@@ -84,6 +89,9 @@ class Workbench {
   // True once the external cancel flag has been raised; grid drivers use
   // this to stop launching new cells.
   bool cancelled() const;
+
+  // The workbench-owned trace (null unless trace_out_path was set).
+  Trace* trace() { return trace_.get(); }
 
   // The weighted graph for (dataset, model); built and cached on demand.
   // `ic_probability` applies to WeightModel::kIcConstant only.
@@ -116,6 +124,7 @@ class Workbench {
   WorkbenchOptions options_;
   std::map<std::string, Graph> graphs_;  // key: dataset "/" model
   std::unique_ptr<ResultJournal> journal_;
+  std::unique_ptr<Trace> trace_;
 };
 
 }  // namespace imbench

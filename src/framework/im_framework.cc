@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "framework/trace.h"
 
 namespace imbench {
 
@@ -18,12 +19,14 @@ FrameworkResult RunImFramework(const Graph& graph, const AlgorithmSpec& spec,
     ParameterTrial trial;
     trial.parameter = parameter;
     std::unique_ptr<ImAlgorithm> algorithm = spec.make(parameter);
+    Span trial_span(options.trace, "trial");
     SelectionInput input;
     input.graph = &graph;
     input.diffusion = kind;
     input.k = options.k;
     input.seed = options.seed;
     input.threads = options.threads;
+    input.trace = options.trace;
     Timer timer;
     SelectionResult selection = algorithm->Select(input);
     trial.select_seconds = timer.Seconds();
@@ -33,6 +36,8 @@ FrameworkResult RunImFramework(const Graph& graph, const AlgorithmSpec& spec,
     eval.simulations = options.evaluation_simulations;
     eval.seed = options.seed ^ 0x5f12ead0c0ffeeULL;
     eval.threads = options.threads;
+    eval.trace = options.trace;
+    Span evaluate_span(options.trace, "evaluate");
     trial.spread = EstimateSpread(graph, kind, trial.seeds, eval);
     return trial;
   };

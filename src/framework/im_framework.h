@@ -22,6 +22,8 @@
 
 namespace imbench {
 
+class Trace;
+
 struct FrameworkOptions {
   uint32_t k = 50;
   // r for the spread-computation phase (10K in the paper, Sec. 5.1).
@@ -32,6 +34,10 @@ struct FrameworkOptions {
   // Worker threads for selection's sampling engine and the MC evaluation
   // (1 = sequential, 0 = all hardware). Thread-count invariant results.
   uint32_t threads = 1;
+  // Optional phase-level trace. Each trial opens a "trial" span containing
+  // the algorithm's own phase spans plus an "evaluate" span around the MC
+  // spread computation. Not owned; may be null.
+  Trace* trace = nullptr;
 };
 
 // One (parameter, seeds, spread) evaluation along the spectrum.

@@ -1,20 +1,44 @@
 #include "framework/metrics.h"
 
+#include <atomic>
+
+#include "common/check.h"
 #include "framework/memory.h"
 
 namespace imbench {
+namespace {
+
+// The peak-heap counter is process-global, so only one meter may run at a
+// time anywhere in the process.
+std::atomic<bool> g_meter_active{false};
+
+}  // namespace
+
+RunMeter::~RunMeter() {
+  // A meter abandoned without Stop() (e.g. unwound by an early return) must
+  // not wedge every later meter.
+  if (started_) g_meter_active.store(false, std::memory_order_release);
+}
 
 void RunMeter::Start() {
+  IMBENCH_CHECK_MSG(
+      !g_meter_active.exchange(true, std::memory_order_acq_rel),
+      "RunMeter is not reentrant: Start() while another meter is running "
+      "would corrupt the process-global peak-heap baseline");
+  started_ = true;
   baseline_bytes_ = CurrentHeapBytes();
   ResetPeakHeapBytes();
   timer_.Restart();
 }
 
-Measurement RunMeter::Stop() const {
+Measurement RunMeter::Stop() {
+  IMBENCH_CHECK_MSG(started_, "RunMeter: Stop() without a matching Start()");
   Measurement m;
   m.seconds = timer_.Seconds();
   const uint64_t peak = PeakHeapBytes();
   m.peak_heap_bytes = peak > baseline_bytes_ ? peak - baseline_bytes_ : 0;
+  started_ = false;
+  g_meter_active.store(false, std::memory_order_release);
   return m;
 }
 

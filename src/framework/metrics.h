@@ -15,17 +15,27 @@ struct Measurement {
 };
 
 // Meter around a unit of work. Not reentrant: one active meter at a time
-// (the peak counter is process-global).
+// (the peak counter is process-global). A nested Start() — whether on the
+// same meter or a second instance — would silently corrupt both baselines,
+// so it CHECK-fails instead.
 class RunMeter {
  public:
-  // Records the current heap level and resets the peak.
+  RunMeter() = default;
+  ~RunMeter();
+  RunMeter(const RunMeter&) = delete;
+  RunMeter& operator=(const RunMeter&) = delete;
+
+  // Records the current heap level and resets the peak. CHECK-fails if any
+  // meter in the process is already running.
   void Start();
-  // Returns elapsed time and peak-above-baseline since Start().
-  Measurement Stop() const;
+  // Returns elapsed time and peak-above-baseline since Start(), and
+  // releases the meter. CHECK-fails without a matching Start().
+  Measurement Stop();
 
  private:
   Timer timer_;
   uint64_t baseline_bytes_ = 0;
+  bool started_ = false;
 };
 
 }  // namespace imbench

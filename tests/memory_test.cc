@@ -71,5 +71,48 @@ TEST(RunMeterTest, BaselineExcludesPriorAllocations) {
   EXPECT_LT(m.peak_heap_bytes, uint64_t{1} << 20);
 }
 
+TEST(RunMeterTest, SequentialMetersAreIndependent) {
+  // Start/Stop pairs back to back must not trip the reentrancy check.
+  for (int i = 0; i < 3; ++i) {
+    RunMeter meter;
+    meter.Start();
+    (void)meter.Stop();
+  }
+}
+
+TEST(RunMeterTest, AbandonedMeterReleasesTheSlot) {
+  {
+    RunMeter abandoned;
+    abandoned.Start();
+    // Destroyed without Stop(), e.g. unwound by an early return.
+  }
+  RunMeter meter;
+  meter.Start();
+  (void)meter.Stop();
+}
+
+TEST(RunMeterDeathTest, NestedStartChecksLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RunMeter outer;
+  outer.Start();
+  EXPECT_DEATH(
+      {
+        RunMeter inner;
+        inner.Start();
+      },
+      "not reentrant");
+  (void)outer.Stop();
+}
+
+TEST(RunMeterDeathTest, StopWithoutStartChecksLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RunMeter meter;
+        (void)meter.Stop();
+      },
+      "without a matching Start");
+}
+
 }  // namespace
 }  // namespace imbench

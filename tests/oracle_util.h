@@ -1,0 +1,198 @@
+// Exact expected spread by exhaustive live-edge enumeration (Sec. 2).
+//
+// Both diffusion models admit a live-edge view (Kempe et al.):
+//   * IC: every edge (u, v) is live independently with probability W(u, v),
+//     so σ(S) = Σ over all 2^m edge subsets of P[subset] · |reachable(S)|.
+//   * LT: every node keeps at most one live in-edge — in-edge i with
+//     probability w_i, none with the residual 1 − Σ w — so σ(S) sums over
+//     the cross product of per-node choices.
+//
+// Exponential by design: only for differential tests on graphs with at
+// most ~12 edges, where the oracle is exact and MC estimators must agree
+// within sampling noise.
+#ifndef IMBENCH_TESTS_ORACLE_UTIL_H_
+#define IMBENCH_TESTS_ORACLE_UTIL_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace imbench {
+namespace testutil {
+
+struct OracleEdge {
+  NodeId source = 0;
+  NodeId target = 0;
+  double weight = 0;
+};
+
+// All forward edges in edge-id order (edges of node 0 first).
+inline std::vector<OracleEdge> OracleEdgeList(const Graph& graph) {
+  std::vector<OracleEdge> edges;
+  edges.reserve(graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto targets = graph.OutTargets(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      edges.push_back(OracleEdge{u, targets[i], weights[i]});
+    }
+  }
+  return edges;
+}
+
+// Nodes reachable from `seeds` along edges with live[e] set, seeds included.
+inline NodeId CountReachable(NodeId num_nodes, std::span<const NodeId> seeds,
+                             const std::vector<OracleEdge>& edges,
+                             const std::vector<uint8_t>& live) {
+  std::vector<uint8_t> active(num_nodes, 0);
+  NodeId count = 0;
+  for (const NodeId s : seeds) {
+    if (!active[s]) {
+      active[s] = 1;
+      ++count;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (live[e] && active[edges[e].source] && !active[edges[e].target]) {
+        active[edges[e].target] = 1;
+        ++count;
+        changed = true;
+      }
+    }
+  }
+  return count;
+}
+
+// Exact σ(S) under IC: 2^m live-edge instantiations.
+inline double ExactSpreadIc(const Graph& graph, std::span<const NodeId> seeds) {
+  if (seeds.empty()) return 0.0;
+  const std::vector<OracleEdge> edges = OracleEdgeList(graph);
+  const size_t m = edges.size();
+  IMBENCH_CHECK_MSG(m <= 20, "oracle is 2^m; %zu edges is too many", m);
+  std::vector<uint8_t> live(m, 0);
+  double total = 0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    double prob = 1;
+    for (size_t e = 0; e < m; ++e) {
+      const bool on = (mask >> e) & 1;
+      live[e] = on ? 1 : 0;
+      prob *= on ? edges[e].weight : 1.0 - edges[e].weight;
+    }
+    if (prob <= 0) continue;
+    total += prob * CountReachable(graph.num_nodes(), seeds, edges, live);
+  }
+  return total;
+}
+
+// Exact σ(S) under LT: odometer over each node's live in-edge choice
+// (in-edge i with probability w_i, no in-edge with the residual).
+inline double ExactSpreadLt(const Graph& graph, std::span<const NodeId> seeds) {
+  if (seeds.empty()) return 0.0;
+  const NodeId n = graph.num_nodes();
+  double combos = 1;
+  for (NodeId v = 0; v < n; ++v) combos *= graph.InDegree(v) + 1.0;
+  IMBENCH_CHECK_MSG(combos <= 1 << 22, "oracle has %.0f live-edge combos",
+                    combos);
+
+  std::vector<double> residual(n);
+  for (NodeId v = 0; v < n; ++v) {
+    residual[v] = std::max(0.0, 1.0 - graph.InWeightSum(v));
+  }
+
+  std::vector<uint32_t> choice(n, 0);  // [0, indeg) = in-edge, indeg = none
+  std::vector<uint8_t> active(n);
+  double total = 0;
+  while (true) {
+    double prob = 1;
+    for (NodeId v = 0; v < n && prob > 0; ++v) {
+      const auto weights = graph.InWeights(v);
+      prob *= choice[v] < weights.size() ? weights[choice[v]] : residual[v];
+    }
+    if (prob > 0) {
+      std::fill(active.begin(), active.end(), 0);
+      NodeId count = 0;
+      for (const NodeId s : seeds) {
+        if (!active[s]) {
+          active[s] = 1;
+          ++count;
+        }
+      }
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (NodeId v = 0; v < n; ++v) {
+          const auto sources = graph.InSources(v);
+          if (!active[v] && choice[v] < sources.size() &&
+              active[sources[choice[v]]]) {
+            active[v] = 1;
+            ++count;
+            changed = true;
+          }
+        }
+      }
+      total += prob * count;
+    }
+    // Odometer increment, least-significant node first.
+    NodeId v = 0;
+    while (v < n) {
+      if (++choice[v] <= graph.InDegree(v)) break;
+      choice[v] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  return total;
+}
+
+inline double ExactSpread(const Graph& graph, DiffusionKind kind,
+                          std::span<const NodeId> seeds) {
+  return kind == DiffusionKind::kIndependentCascade
+             ? ExactSpreadIc(graph, seeds)
+             : ExactSpreadLt(graph, seeds);
+}
+
+struct ExhaustiveResult {
+  std::vector<NodeId> seeds;
+  double spread = 0;
+};
+
+// The true optimum max_{|S| = k} σ(S) over all C(n, k) seed sets;
+// lexicographically smallest among ties, so the result is deterministic.
+inline ExhaustiveResult ExhaustiveOptimum(const Graph& graph,
+                                          DiffusionKind kind, uint32_t k) {
+  const NodeId n = graph.num_nodes();
+  IMBENCH_CHECK(k <= n);
+  ExhaustiveResult best;
+  std::vector<NodeId> current;
+  auto recurse = [&](auto&& self, NodeId next) -> void {
+    if (current.size() == k) {
+      const double spread = ExactSpread(graph, kind, current);
+      if (spread > best.spread) {
+        best.spread = spread;
+        best.seeds = current;
+      }
+      return;
+    }
+    // Not enough nodes left to fill the set.
+    if (n - next < k - current.size()) return;
+    for (NodeId v = next; v < n; ++v) {
+      current.push_back(v);
+      self(self, v + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+}  // namespace testutil
+}  // namespace imbench
+
+#endif  // IMBENCH_TESTS_ORACLE_UTIL_H_

@@ -16,6 +16,7 @@
 #include "framework/memory.h"
 #include "framework/registry.h"
 #include "framework/run_guard.h"
+#include "framework/trace.h"
 #include "graph/edge_list.h"
 #include "graph/weights.h"
 
@@ -66,6 +67,11 @@ int main(int argc, char** argv) {
       "threads", 0,
       "worker threads for RR-set generation and MC evaluation "
       "(0 = all hardware, 1 = sequential); results do not depend on it");
+  std::string* trace_out = flags.AddString(
+      "trace-out", "",
+      "write the per-phase trace (spans + counters) as JSON to this file");
+  bool* trace_table = flags.AddBool(
+      "trace", false, "print the per-phase trace as a human-readable table");
   bool* list = flags.AddBool("list", false, "list algorithms and exit");
   flags.Parse(argc, argv);
 
@@ -83,25 +89,32 @@ int main(int argc, char** argv) {
   const WeightModel model = ParseModel(*model_name);
   const DiffusionKind kind = DiffusionKindFor(model);
 
+  Trace trace;
+  Trace* const tr =
+      (*trace_table || !trace_out->empty()) ? &trace : nullptr;
+
   // Build the graph.
   Graph graph;
-  if (!graph_path->empty()) {
-    EdgeListError error;
-    const auto loaded = LoadEdgeList(*graph_path, nullptr, &error);
-    if (!loaded.has_value()) {
-      std::fprintf(stderr, "failed to load edge list: %s\n",
-                   error.Format(*graph_path).c_str());
-      return 1;
+  {
+    Span setup_span(tr, "setup");
+    if (!graph_path->empty()) {
+      EdgeListError error;
+      const auto loaded = LoadEdgeList(*graph_path, nullptr, &error);
+      if (!loaded.has_value()) {
+        std::fprintf(stderr, "failed to load edge list: %s\n",
+                     error.Format(*graph_path).c_str());
+        return 1;
+      }
+      GraphOptions options;
+      options.make_bidirectional = *bidirectional;
+      graph = Graph::FromArcs(loaded->num_nodes, loaded->arcs, options);
+    } else {
+      graph = MakeDataset(*dataset, ParseDatasetScale(*scale),
+                          static_cast<uint64_t>(*seed));
     }
-    GraphOptions options;
-    options.make_bidirectional = *bidirectional;
-    graph = Graph::FromArcs(loaded->num_nodes, loaded->arcs, options);
-  } else {
-    graph = MakeDataset(*dataset, ParseDatasetScale(*scale),
-                        static_cast<uint64_t>(*seed));
+    Rng wrng(static_cast<uint64_t>(*seed) ^ 0x8e1);
+    AssignWeights(graph, model, *ic_p, wrng);
   }
-  Rng wrng(static_cast<uint64_t>(*seed) ^ 0x8e1);
-  AssignWeights(graph, model, *ic_p, wrng);
 
   const AlgorithmSpec* spec = FindAlgorithm(*algorithm);
   if (spec == nullptr) {
@@ -126,6 +139,7 @@ int main(int argc, char** argv) {
   input.seed = static_cast<uint64_t>(*seed);
   input.counters = &counters;
   input.threads = static_cast<uint32_t>(*threads);
+  input.trace = tr;
 
   // Budgets: first Ctrl-C drains the run and reports partial seeds.
   InstallSigintCancel();
@@ -149,7 +163,10 @@ int main(int argc, char** argv) {
   eval.simulations = static_cast<uint32_t>(*mc);
   eval.seed = static_cast<uint64_t>(*seed);
   eval.threads = static_cast<uint32_t>(*threads);
+  eval.trace = tr;
+  Span evaluate_span(tr, "evaluate");
   const SpreadEstimate sigma = EstimateSpread(graph, kind, result.seeds, eval);
+  evaluate_span.Close();
   const double eval_secs = timer.Seconds();
 
   std::printf("graph: %u nodes, %llu arcs; model %s; algorithm %s",
@@ -185,5 +202,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(counters.rr_sets),
       static_cast<unsigned long long>(counters.snapshots),
       static_cast<unsigned long long>(counters.scoring_rounds));
+  if (*trace_table) trace.PrintTable(stdout);
+  if (!trace_out->empty()) {
+    if (!trace.WriteJsonFile(*trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out->c_str());
+      return 1;
+    }
+  }
   return 0;
 }
