@@ -130,7 +130,7 @@ void BM_GreedyMaxCover(benchmark::State& state) {
   std::vector<NodeId> out;
   for (int i = 0; i < 20000; ++i) {
     sampler.Generate(rng, out);
-    collection.Add(out);
+    collection.AppendSet(out);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(collection.GreedyMaxCover(50));

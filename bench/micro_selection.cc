@@ -7,6 +7,7 @@
 
 #include "algorithms/lazy_queue.h"
 #include "algorithms/snapshots.h"
+#include "bench/legacy_rr_corpus.h"
 #include "diffusion/rr_sets.h"
 #include "framework/datasets.h"
 #include "graph/weights.h"
@@ -134,7 +135,7 @@ RrCollection& Corpus() {
     std::vector<NodeId> out;
     for (int i = 0; i < 50000; ++i) {
       sampler.Generate(rng, out);
-      c.Add(out);
+      c.AppendSet(out);
     }
     return c;
   }());
@@ -147,6 +148,65 @@ void BM_MaxCoverLazyHeap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxCoverLazyHeap)->Unit(benchmark::kMillisecond);
+
+// Ablation against the pre-flattening layout: the identical corpus held as
+// vector-of-vectors with an eagerly maintained inverted index, covered by
+// the same lazy-heap greedy. The delta against BM_MaxCoverLazyHeap is the
+// pure data-layout win (contiguous spans vs two-level pointer chasing).
+LegacyRrCorpus& LegacyCorpus() {
+  static LegacyRrCorpus& corpus = *new LegacyRrCorpus([] {
+    LegacyRrCorpus c(WcGraph().num_nodes());
+    RrSampler sampler(WcGraph(), DiffusionKind::kIndependentCascade);
+    Rng rng(9);
+    std::vector<NodeId> out;
+    for (int i = 0; i < 50000; ++i) {
+      sampler.Generate(rng, out);
+      c.AppendSet(out);
+    }
+    return c;
+  }());
+  return corpus;
+}
+
+void BM_MaxCoverLegacyLayout(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LegacyCorpus().GreedyMaxCover(kSeeds));
+  }
+}
+BENCHMARK(BM_MaxCoverLegacyLayout)->Unit(benchmark::kMillisecond);
+
+// Corpus ingestion: flat-arena AppendSet (bulk copy into one arena) vs the
+// legacy per-set vector move + per-member inverted-index pushes.
+void BM_CorpusBuildFlat(benchmark::State& state) {
+  RrSampler sampler(WcGraph(), DiffusionKind::kIndependentCascade);
+  std::vector<NodeId> out;
+  for (auto _ : state) {
+    RrCollection c(WcGraph().num_nodes());
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i) {
+      sampler.Generate(rng, out);
+      c.AppendSet(out);
+    }
+    benchmark::DoNotOptimize(c.TotalEntries());
+  }
+}
+BENCHMARK(BM_CorpusBuildFlat)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusBuildLegacyLayout(benchmark::State& state) {
+  RrSampler sampler(WcGraph(), DiffusionKind::kIndependentCascade);
+  for (auto _ : state) {
+    LegacyRrCorpus c(WcGraph().num_nodes());
+    Rng rng(9);
+    std::vector<NodeId> out;
+    for (int i = 0; i < 20000; ++i) {
+      sampler.Generate(rng, out);
+      c.Add(std::move(out));
+      out.clear();
+    }
+    benchmark::DoNotOptimize(c.TotalEntries());
+  }
+}
+BENCHMARK(BM_CorpusBuildLegacyLayout)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace imbench

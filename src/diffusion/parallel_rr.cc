@@ -39,16 +39,6 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
     ls->sampler.set_abort_flag(stop_state.abort_flag());
   }
 
-  // One lane's private output for one batch of kBatchSets consecutive set
-  // indices. `complete` distinguishes "ran out of indices" from "drained by
-  // a trip": the merge stops at the first incomplete batch so the corpus
-  // stays a prefix of the deterministic sequence.
-  struct Batch {
-    std::vector<std::vector<NodeId>> sets;
-    std::vector<uint64_t> set_widths;
-    bool complete = false;
-  };
-
   uint64_t generated_total = 0;
   uint64_t edges_examined = 0;  // merged-prefix sets only (deterministic)
   bool draining = false;
@@ -63,59 +53,90 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
     const uint64_t wave_base = next_index_;
     const uint64_t index_end = wave_base + wave_target;
 
-    std::vector<Batch> batches(num_batches);
+    // Reset the persistent wave buffers: clear() keeps the capacities, so
+    // after the first wave no allocation happens on the generation path.
+    if (batches_.size() < num_batches) batches_.resize(num_batches);
+    for (uint64_t b = 0; b < num_batches; ++b) {
+      batches_[b].members.clear();
+      batches_[b].sizes.clear();
+      batches_[b].widths.clear();
+      batches_[b].complete = false;
+    }
     pool_->ParallelFor(
         num_batches, lanes_, [&](uint64_t b, uint32_t lane) {
           LaneState& ls = *lane_states_[lane];
-          Batch& batch = batches[b];
+          Batch& batch = batches_[b];
           const uint64_t first = wave_base + b * kBatchSets;
           const uint64_t n = std::min<uint64_t>(kBatchSets, index_end - first);
-          batch.sets.reserve(n);
-          batch.set_widths.reserve(n);
           for (uint64_t j = 0; j < n; ++j) {
             if (stop_state.aborted()) return;
             if (ls.guard.ShouldStop()) {
               stop_state.Trip(ls.guard.reason());
               return;
             }
-            std::vector<NodeId> set;
+            const size_t base = batch.members.size();
             const uint64_t width =
-                ls.sampler.GenerateStream(seed, first + j, set);
-            // A trip mid-set (own guard or a sibling's abort) leaves `set`
-            // truncated; drop it rather than publish a non-deterministic
-            // member list.
+                ls.sampler.GenerateStreamInto(seed, first + j, batch.members);
+            // A trip mid-set (own guard or a sibling's abort) leaves a
+            // truncated tail in the buffer; roll it back rather than
+            // publish a non-deterministic member list.
             if (ls.guard.stopped()) {
+              batch.members.resize(base);
               stop_state.Trip(ls.guard.reason());
               return;
             }
-            if (stop_state.aborted()) return;
-            batch.sets.push_back(std::move(set));
-            batch.set_widths.push_back(width);
+            if (stop_state.aborted()) {
+              batch.members.resize(base);
+              return;
+            }
+            batch.sizes.push_back(
+                static_cast<uint32_t>(batch.members.size() - base));
+            batch.widths.push_back(width);
           }
           batch.complete = true;
         });
 
-    // Merge in index order; every set appended here has the same contents
-    // the sequential engine would have produced for its index.
-    for (Batch& batch : batches) {
-      for (size_t i = 0; i < batch.sets.size(); ++i) {
-        out.Add(std::move(batch.sets[i]));
-        if (widths != nullptr) widths->push_back(batch.set_widths[i]);
-        edges_examined += batch.set_widths[i];
-        ++next_index_;
-        ++generated_total;
-        ++result.generated;
-        // Entry cap: the sampler's own safety valve. Checked here in the
-        // single-threaded merge, so the crossing set index is deterministic
-        // regardless of thread count. Like the sequential engine, it does
-        // not trip the caller's run-wide guard.
-        if (options_.max_total_entries != 0 &&
-            out.TotalEntries() > options_.max_total_entries) {
-          result.stop = StopReason::kMemory;
-          TraceAdd(options_.trace, TraceCounter::kRrEdgesExamined,
-                   edges_examined);
-          return result;
+    // Merge in index order; every set spliced here has the same contents
+    // the sequential engine would have produced for its index. Each batch
+    // lands as one block splice (bulk arena copy + size-many offsets).
+    for (uint64_t b = 0; b < num_batches; ++b) {
+      Batch& batch = batches_[b];
+      // Entry cap: the sampler's own safety valve. Resolved here in the
+      // single-threaded merge, so the crossing set index is deterministic
+      // regardless of thread count. The crossing set is kept (matching the
+      // sequential engine's add-then-check), the rest of the batch is not.
+      // Like the sequential engine, it does not trip the caller's
+      // run-wide guard.
+      size_t keep = batch.sizes.size();
+      uint64_t keep_entries = batch.members.size();
+      bool cap_hit = false;
+      if (options_.max_total_entries != 0) {
+        uint64_t running = out.TotalEntries();
+        for (size_t i = 0; i < batch.sizes.size(); ++i) {
+          running += batch.sizes[i];
+          if (running > options_.max_total_entries) {
+            keep = i + 1;
+            keep_entries = running - out.TotalEntries();
+            cap_hit = true;
+            break;
+          }
         }
+      }
+      out.AppendBatch(
+          std::span<const NodeId>(batch.members.data(), keep_entries),
+          std::span<const uint32_t>(batch.sizes.data(), keep));
+      for (size_t i = 0; i < keep; ++i) {
+        if (widths != nullptr) widths->push_back(batch.widths[i]);
+        edges_examined += batch.widths[i];
+      }
+      next_index_ += keep;
+      generated_total += keep;
+      result.generated += keep;
+      if (cap_hit) {
+        result.stop = StopReason::kMemory;
+        TraceAdd(options_.trace, TraceCounter::kRrEdgesExamined,
+                 edges_examined);
+        return result;
       }
       if (!batch.complete) {
         draining = true;

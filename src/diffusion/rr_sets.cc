@@ -10,6 +10,17 @@
 #include "framework/trace.h"
 
 namespace imbench {
+namespace {
+
+// Corpus size at which GreedyMaxCover switches from the lazy max-heap to
+// the exact degree-bucket variant. Below this the heap's log factor is
+// noise and its smaller working set wins; above it the bucket variant's
+// O(n + D + decrements) walk over contiguous arrays is strictly cheaper.
+// Both variants produce identical seeds, so the threshold is purely a
+// performance knob (and deterministic: size() never depends on threads).
+constexpr size_t kDegreeBucketThreshold = 4096;
+
+}  // namespace
 
 RrSampler::RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard)
     : graph_(graph),
@@ -35,9 +46,9 @@ uint64_t RrSampler::GenerateFromRoot(NodeId root, Rng& rng,
   ++epoch_;
   switch (kind_) {
     case DiffusionKind::kIndependentCascade:
-      return GenerateIc(root, rng, out);
+      return GenerateIc(root, rng, out, 0);
     case DiffusionKind::kLinearThreshold:
-      return GenerateLt(root, rng, out);
+      return GenerateLt(root, rng, out, 0);
   }
   return 0;
 }
@@ -46,6 +57,21 @@ uint64_t RrSampler::GenerateStream(uint64_t seed, uint64_t index,
                                    std::vector<NodeId>& out) {
   Rng rng = Rng::ForStream(seed, index);
   return Generate(rng, out);
+}
+
+uint64_t RrSampler::GenerateStreamInto(uint64_t seed, uint64_t index,
+                                       std::vector<NodeId>& buffer) {
+  Rng rng = Rng::ForStream(seed, index);
+  const NodeId root = rng.NextU32(graph_.num_nodes());
+  const size_t base = buffer.size();
+  ++epoch_;
+  switch (kind_) {
+    case DiffusionKind::kIndependentCascade:
+      return GenerateIc(root, rng, buffer, base);
+    case DiffusionKind::kLinearThreshold:
+      return GenerateLt(root, rng, buffer, base);
+  }
+  return 0;
 }
 
 RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
@@ -67,8 +93,9 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
       result.stop = guard_->reason();
       break;
     }
-    out.Add(std::move(scratch));
-    scratch.clear();
+    // The scratch buffer is copied into the arena and reused: after the
+    // first few sets it never reallocates again.
+    out.AppendSet(scratch);
     if (widths != nullptr) widths->push_back(width);
     edges_examined += width;
     ++result.generated;
@@ -87,12 +114,12 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
   return result;
 }
 
-uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng,
-                               std::vector<NodeId>& out) {
+uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng, std::vector<NodeId>& out,
+                               size_t base) {
   uint64_t edges_examined = 0;
   visited_stamp_[root] = epoch_;
   out.push_back(root);
-  for (size_t head = 0; head < out.size(); ++head) {
+  for (size_t head = base; head < out.size(); ++head) {
     if (PollStop()) break;  // truncated set: run is draining
     const NodeId v = out[head];
     const auto sources = graph_.InSources(v);
@@ -110,11 +137,12 @@ uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng,
   return edges_examined;
 }
 
-uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng,
-                               std::vector<NodeId>& out) {
+uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out,
+                               size_t base) {
   // Under LT's live-edge view each node activates via at most one
   // in-neighbor, so the RR set is a simple path walked backwards until the
   // residual no-edge event fires or the walk bites its own tail.
+  (void)base;
   uint64_t edges_examined = 0;
   visited_stamp_[root] = epoch_;
   out.push_back(root);
@@ -153,59 +181,115 @@ std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
   return std::make_unique<ParallelRrSampler>(graph, options);
 }
 
-RrCollection::RrCollection(NodeId num_nodes)
-    : num_nodes_(num_nodes), sets_containing_(num_nodes) {}
+RrCollection::RrCollection(NodeId num_nodes) : num_nodes_(num_nodes) {
+  set_offsets_.push_back(0);
+}
 
-void RrCollection::Add(std::vector<NodeId> set) {
-  const uint32_t id = static_cast<uint32_t>(sets_.size());
-  for (const NodeId v : set) {
-    IMBENCH_CHECK(v < num_nodes_);
-    sets_containing_[v].push_back(id);
+void RrCollection::AppendSet(std::span<const NodeId> set) {
+  for (const NodeId v : set) IMBENCH_CHECK(v < num_nodes_);
+  members_.insert(members_.end(), set.begin(), set.end());
+  set_offsets_.push_back(members_.size());
+  index_valid_ = false;
+}
+
+void RrCollection::AppendBatch(std::span<const NodeId> members,
+                               std::span<const uint32_t> sizes) {
+  for (const NodeId v : members) IMBENCH_CHECK(v < num_nodes_);
+  members_.insert(members_.end(), members.begin(), members.end());
+  uint64_t offset = set_offsets_.back();
+  uint64_t spliced = 0;
+  for (const uint32_t size : sizes) {
+    offset += size;
+    set_offsets_.push_back(offset);
+    spliced += size;
   }
-  total_entries_ += set.size();
-  sets_.push_back(std::move(set));
+  IMBENCH_CHECK(spliced == members.size());
+  index_valid_ = false;
+}
+
+void RrCollection::Reserve(uint64_t sets, uint64_t entries) {
+  set_offsets_.reserve(sets + 1);
+  members_.reserve(entries);
 }
 
 void RrCollection::TruncateTo(size_t n) {
-  while (sets_.size() > n) {
-    const uint32_t id = static_cast<uint32_t>(sets_.size() - 1);
-    for (const NodeId v : sets_.back()) {
-      IMBENCH_CHECK(!sets_containing_[v].empty() &&
-                    sets_containing_[v].back() == id);
-      sets_containing_[v].pop_back();
-    }
-    total_entries_ -= sets_.back().size();
-    sets_.pop_back();
-  }
+  if (n >= size()) return;
+  set_offsets_.resize(n + 1);
+  members_.resize(set_offsets_.back());
+  index_valid_ = false;
 }
 
 uint64_t RrCollection::MemoryBytes() const {
-  uint64_t bytes = 0;
-  for (const auto& s : sets_) bytes += s.capacity() * sizeof(NodeId);
-  for (const auto& s : sets_containing_) {
-    bytes += s.capacity() * sizeof(uint32_t);
+  return members_.capacity() * sizeof(NodeId) +
+         set_offsets_.capacity() * sizeof(uint64_t) +
+         inv_offsets_.capacity() * sizeof(uint64_t) +
+         inv_sets_.capacity() * sizeof(uint32_t) + sizeof(*this);
+}
+
+void RrCollection::EnsureInvertedIndex() const {
+  if (index_valid_) return;
+  // Counting sort over the arena: one pass to histogram per-node
+  // occurrence counts, one pass to place set ids. Stable by construction,
+  // so each node's slice lists set ids in increasing order — the same
+  // order the old per-node vectors grew in, which GreedyMaxCover's
+  // coverage walk (and therefore the determinism goldens) relies on.
+  inv_offsets_.assign(num_nodes_ + 1, 0);
+  for (const NodeId v : members_) ++inv_offsets_[v + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    inv_offsets_[v + 1] += inv_offsets_[v];
   }
-  // Vector headers for both tiers (spelled with the element types, not
-  // sets_[0]: indexing an empty outer vector would be UB).
-  bytes += sets_.capacity() * sizeof(std::vector<NodeId>);
-  bytes += sets_containing_.capacity() * sizeof(std::vector<uint32_t>);
-  bytes += sizeof(*this);
-  return bytes;
+  inv_sets_.resize(members_.size());
+  std::vector<uint64_t> cursor(inv_offsets_.begin(), inv_offsets_.end() - 1);
+  const size_t num_sets = size();
+  for (size_t id = 0; id < num_sets; ++id) {
+    const uint64_t end = set_offsets_[id + 1];
+    for (uint64_t i = set_offsets_[id]; i < end; ++i) {
+      inv_sets_[cursor[members_[i]]++] = static_cast<uint32_t>(id);
+    }
+  }
+  index_valid_ = true;
 }
 
 std::vector<NodeId> RrCollection::GreedyMaxCover(
     uint32_t k, double* covered_fraction) const {
+  EnsureInvertedIndex();
+  return size() >= kDegreeBucketThreshold
+             ? CoverDegreeBuckets(k, covered_fraction)
+             : CoverLazyHeap(k, covered_fraction);
+}
+
+namespace {
+
+// Shared tail of both cover variants: when every set is covered before k
+// picks, fill the remaining slots with unchosen nodes so the result always
+// has k seeds (matches the reference implementations).
+void PadSeeds(NodeId num_nodes, uint32_t k, std::vector<uint8_t>& chosen,
+              std::vector<NodeId>& seeds) {
+  for (NodeId v = 0; v < num_nodes && seeds.size() < k; ++v) {
+    if (!chosen[v]) {
+      chosen[v] = 1;
+      seeds.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> RrCollection::CoverLazyHeap(
+    uint32_t k, double* covered_fraction) const {
   // Counting greedy with lazy decrement: degree[v] = #uncovered sets that
-  // contain v. Buckets by degree would be O(m); a lazy max-heap suffices at
-  // the corpus sizes the benchmark generates.
+  // contain v, read straight off the inverted-index offsets. Every inner
+  // loop below walks a contiguous span of one of the two arenas.
   std::vector<uint32_t> degree(num_nodes_, 0);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    degree[v] = static_cast<uint32_t>(sets_containing_[v].size());
+    degree[v] = static_cast<uint32_t>(inv_offsets_[v + 1] - inv_offsets_[v]);
   }
-  std::vector<bool> covered(sets_.size(), false);
-  std::vector<bool> chosen(num_nodes_, false);
+  std::vector<uint8_t> covered(size(), 0);
+  std::vector<uint8_t> chosen(num_nodes_, 0);
 
-  // Lazy priority queue of (stale degree, node).
+  // Lazy priority queue of (stale degree, node); ties resolve to the
+  // largest node id (the pair comparison), which the bucket variant
+  // reproduces exactly.
   std::vector<std::pair<uint32_t, NodeId>> heap;
   heap.reserve(num_nodes_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
@@ -214,6 +298,7 @@ std::vector<NodeId> RrCollection::GreedyMaxCover(
   std::make_heap(heap.begin(), heap.end());
 
   std::vector<NodeId> seeds;
+  seeds.reserve(k);
   uint64_t covered_count = 0;
   while (seeds.size() < k) {
     NodeId best = kInvalidNode;
@@ -234,30 +319,98 @@ std::vector<NodeId> RrCollection::GreedyMaxCover(
       break;
     }
     if (best == kInvalidNode) {
-      // All sets covered: fill remaining slots with unchosen nodes so the
-      // result always has k seeds (matches the reference implementations).
-      for (NodeId v = 0; v < num_nodes_ && seeds.size() < k; ++v) {
-        if (!chosen[v]) {
-          chosen[v] = true;
-          seeds.push_back(v);
-        }
-      }
+      PadSeeds(num_nodes_, k, chosen, seeds);
       break;
     }
-    chosen[best] = true;
+    chosen[best] = 1;
     seeds.push_back(best);
-    for (const uint32_t set_id : sets_containing_[best]) {
+    for (uint64_t j = inv_offsets_[best]; j < inv_offsets_[best + 1]; ++j) {
+      const uint32_t set_id = inv_sets_[j];
       if (covered[set_id]) continue;
-      covered[set_id] = true;
+      covered[set_id] = 1;
       ++covered_count;
-      for (const NodeId member : sets_[set_id]) --degree[member];
+      const uint64_t end = set_offsets_[set_id + 1];
+      for (uint64_t i = set_offsets_[set_id]; i < end; ++i) {
+        --degree[members_[i]];
+      }
     }
   }
   if (covered_fraction != nullptr) {
-    *covered_fraction =
-        sets_.empty() ? 0.0
-                      : static_cast<double>(covered_count) /
-                            static_cast<double>(sets_.size());
+    *covered_fraction = size() == 0 ? 0.0
+                                    : static_cast<double>(covered_count) /
+                                          static_cast<double>(size());
+  }
+  return seeds;
+}
+
+std::vector<NodeId> RrCollection::CoverDegreeBuckets(
+    uint32_t k, double* covered_fraction) const {
+  // Exact greedy over lazily-maintained degree buckets: bucket[d] holds
+  // candidate nodes last seen at degree d. Degrees only decrease, so a
+  // cursor sweeps from the top bucket downward and never backs up; a node
+  // found below its bucket is moved down (each node moves monotonically,
+  // so total moves are bounded by total degree decrements). Selection
+  // takes the largest node id in the highest non-empty bucket — the exact
+  // tie-break the lazy heap's pair ordering yields.
+  std::vector<uint32_t> degree(num_nodes_, 0);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    degree[v] = static_cast<uint32_t>(inv_offsets_[v + 1] - inv_offsets_[v]);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<NodeId>> buckets(max_degree + 1);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (degree[v] > 0) buckets[degree[v]].push_back(v);
+  }
+  std::vector<uint8_t> covered(size(), 0);
+  std::vector<uint8_t> chosen(num_nodes_, 0);
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  uint64_t covered_count = 0;
+  uint32_t cur = max_degree;
+  while (seeds.size() < k) {
+    NodeId best = kInvalidNode;
+    while (cur > 0) {
+      std::vector<NodeId>& bucket = buckets[cur];
+      // Compact the bucket in place: drop chosen nodes, sink nodes whose
+      // degree decayed, and track the max id among the survivors.
+      size_t keep = 0;
+      for (const NodeId v : bucket) {
+        if (chosen[v]) continue;
+        const uint32_t d = degree[v];
+        if (d == cur) {
+          bucket[keep++] = v;
+          if (best == kInvalidNode || v > best) best = v;
+        } else if (d > 0) {
+          buckets[d].push_back(v);
+        }
+      }
+      bucket.resize(keep);
+      if (best != kInvalidNode) break;
+      --cur;
+    }
+    if (best == kInvalidNode) {
+      PadSeeds(num_nodes_, k, chosen, seeds);
+      break;
+    }
+    chosen[best] = 1;
+    seeds.push_back(best);
+    for (uint64_t j = inv_offsets_[best]; j < inv_offsets_[best + 1]; ++j) {
+      const uint32_t set_id = inv_sets_[j];
+      if (covered[set_id]) continue;
+      covered[set_id] = 1;
+      ++covered_count;
+      const uint64_t end = set_offsets_[set_id + 1];
+      for (uint64_t i = set_offsets_[set_id]; i < end; ++i) {
+        --degree[members_[i]];
+      }
+    }
+  }
+  if (covered_fraction != nullptr) {
+    *covered_fraction = size() == 0 ? 0.0
+                                    : static_cast<double>(covered_count) /
+                                          static_cast<double>(size());
   }
   return seeds;
 }

@@ -113,6 +113,16 @@ class RrSampler : public RrEngine {
   uint64_t GenerateStream(uint64_t seed, uint64_t index,
                           std::vector<NodeId>& out);
 
+  // Like GenerateStream, but appends the set to `buffer` without clearing
+  // it — the batch-buffer path: a lane fills one flat buffer with many
+  // consecutive sets and the whole block is spliced into the collection.
+  // The appended set occupies buffer[s..buffer.size()) where s is the size
+  // on entry. A mid-set stop (guard trip / abort flag) leaves a truncated
+  // tail; callers that detect a stop must resize the buffer back to s
+  // instead of publishing the partial set.
+  uint64_t GenerateStreamInto(uint64_t seed, uint64_t index,
+                              std::vector<NodeId>& buffer);
+
   RrBatchResult Generate(uint64_t seed, uint64_t count, RrCollection& out,
                          std::vector<uint64_t>* widths = nullptr) override;
 
@@ -127,8 +137,12 @@ class RrSampler : public RrEngine {
            GuardShouldStop(guard_);
   }
 
-  uint64_t GenerateIc(NodeId root, Rng& rng, std::vector<NodeId>& out);
-  uint64_t GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out);
+  // Both work append-style from `base` (the set's first slot in `out`), so
+  // the same code serves the clear-first and batch-buffer entry points.
+  uint64_t GenerateIc(NodeId root, Rng& rng, std::vector<NodeId>& out,
+                      size_t base);
+  uint64_t GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out,
+                      size_t base);
 
   const Graph& graph_;
   DiffusionKind kind_;
@@ -147,41 +161,93 @@ class RrSampler : public RrEngine {
 std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
                                        const SamplerOptions& options);
 
-// A corpus of RR sets with the node->sets inverted index needed for greedy
-// maximum coverage (the seed-selection step of TIM+/IMM).
+// A corpus of RR sets stored in flat append-only arenas (CSR layout, the
+// same flattening the reference TIM/IMM implementations use): one
+// contiguous `members` array plus a `set_offsets` array for the forward
+// direction, and a rebuilt-on-demand CSR inverted index for node -> set
+// ids. Both directions are single contiguous allocations, so the greedy
+// max-cover inner loops — the hottest loops of TIM+/IMM/RIS — iterate
+// plain spans instead of chasing millions of per-set vector headers.
+//
+// The inverted index is a cache: it is (re)built by the first
+// GreedyMaxCover after a mutation via one counting-sort pass over the
+// arena, which keeps every mutation O(appended) / O(dropped) and the index
+// grouped per node in increasing set-id order (the iteration order the
+// greedy relies on for determinism). Because the cache is filled lazily,
+// concurrent const access is NOT safe while the index is stale; the
+// engines only touch a collection from the coordinating thread.
 class RrCollection {
  public:
   explicit RrCollection(NodeId num_nodes);
 
-  // Moves one sampled set into the collection.
-  void Add(std::vector<NodeId> set);
+  // Copies one sampled set into the arena. Convenience wrapper over
+  // AppendSet for tests and one-off callers.
+  void Add(std::vector<NodeId> set) { AppendSet(set); }
 
-  // Drops sets from the back until `size() == n`, unwinding the inverted
-  // index (set ids are appended in increasing order, so each member's list
-  // ends with the dropped id). Lets RIS keep its exact per-set budget
-  // semantics under batched generation.
+  // Appends one set (a contiguous run of member ids) to the arena.
+  void AppendSet(std::span<const NodeId> set);
+
+  // Splices a whole batch in one shot: `sizes[i]` consecutive entries of
+  // `members` form the i-th appended set. One bulk copy into the arena
+  // plus `sizes.size()` offset pushes — no per-set allocation at all.
+  void AppendBatch(std::span<const NodeId> members,
+                   std::span<const uint32_t> sizes);
+
+  // Pre-sizes the arenas for `sets` additional-or-total sets holding
+  // `entries` total member ids (both are totals, not increments). Callers
+  // with a corpus-size estimate (TIM+'s θ from the KPT phase) use this so
+  // the final sampling phase doesn't re-grow the arena repeatedly.
+  void Reserve(uint64_t sets, uint64_t entries);
+
+  // Drops sets from the back until `size() == n`: an O(dropped) offset
+  // rollback of the arenas (the inverted-index cache is invalidated, not
+  // unwound). Lets RIS keep its exact per-set budget semantics under
+  // batched generation.
   void TruncateTo(size_t n);
 
-  size_t size() const { return sets_.size(); }
-  uint64_t TotalEntries() const { return total_entries_; }
-  std::span<const NodeId> Set(size_t i) const { return sets_[i]; }
+  size_t size() const {
+    // Empty-guard keeps a moved-from collection at size 0 instead of
+    // underflowing (the constructor always seeds one offset).
+    return set_offsets_.empty() ? 0 : set_offsets_.size() - 1;
+  }
+  uint64_t TotalEntries() const { return members_.size(); }
+  std::span<const NodeId> Set(size_t i) const {
+    return std::span<const NodeId>(members_.data() + set_offsets_[i],
+                                   set_offsets_[i + 1] - set_offsets_[i]);
+  }
 
-  // Approximate heap bytes held by the corpus (for the memory benchmarks):
-  // the member payloads, the inverted index, and both tiers of vector
-  // headers.
+  // Exact heap bytes held by the corpus: the two forward arenas plus the
+  // inverted-index arenas (zero until first built) and the object header.
+  // This is the Fig. 8 memory metric for the RR-sketch family.
   uint64_t MemoryBytes() const;
 
   // Greedy max cover: picks k nodes maximizing the number of covered sets.
   // Returns the seeds and writes the covered fraction (coverage / size())
-  // to `covered_fraction` if non-null. The collection is left unmodified.
+  // to `covered_fraction` if non-null. The arenas are left unmodified (the
+  // inverted-index cache may be built). Two internal variants produce the
+  // same seeds — ties always break to the largest node id — and are picked
+  // by corpus size: a lazy max-heap for small corpora, exact degree
+  // buckets (O(n + D + decrements), no log factor) for large ones.
   std::vector<NodeId> GreedyMaxCover(uint32_t k,
                                      double* covered_fraction = nullptr) const;
 
  private:
+  // Builds the node -> set-ids CSR (inv_offsets_ / inv_sets_) from the
+  // arena if any mutation happened since the last build.
+  void EnsureInvertedIndex() const;
+
+  std::vector<NodeId> CoverLazyHeap(uint32_t k, double* covered_fraction) const;
+  std::vector<NodeId> CoverDegreeBuckets(uint32_t k,
+                                         double* covered_fraction) const;
+
   NodeId num_nodes_;
-  std::vector<std::vector<NodeId>> sets_;
-  std::vector<std::vector<uint32_t>> sets_containing_;  // node -> set ids
-  uint64_t total_entries_ = 0;
+  std::vector<NodeId> members_;        // all sets, back to back
+  std::vector<uint64_t> set_offsets_;  // size()+1 offsets into members_
+  // Inverted-index cache: set ids grouped by node, ascending within each
+  // node's slice. Valid iff index_valid_.
+  mutable std::vector<uint64_t> inv_offsets_;  // num_nodes_+1
+  mutable std::vector<uint32_t> inv_sets_;
+  mutable bool index_valid_ = false;
 };
 
 }  // namespace imbench

@@ -1,0 +1,220 @@
+// Differential coverage for the flat-arena RR corpus: the CSR layout must
+// be observationally identical to the vector-of-vectors baseline it
+// replaced (bench/legacy_rr_corpus.h) — same sets for the same seeds, same
+// greedy max-cover seeds and covered fractions (which also pins the exact
+// degree-bucket variant to the lazy heap's tie-breaking), and the same
+// TruncateTo semantics across parallel batch boundaries.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "bench/legacy_rr_corpus.h"
+#include "common/thread_pool.h"
+#include "diffusion/rr_sets.h"
+#include "framework/datasets.h"
+#include "graph/weights.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+Graph WcGraph() {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  return g;
+}
+
+template <typename Corpus>
+void FillFromSampler(const Graph& g, uint64_t seed, uint64_t count,
+                     Corpus& corpus) {
+  RrSampler sampler(g, DiffusionKind::kIndependentCascade);
+  std::vector<NodeId> scratch;
+  for (uint64_t i = 0; i < count; ++i) {
+    sampler.GenerateStream(seed, i, scratch);
+    corpus.AppendSet(scratch);
+  }
+}
+
+TEST(RrLayoutTest, FlatMatchesLegacySetsAndTotals) {
+  const Graph g = WcGraph();
+  RrCollection flat(g.num_nodes());
+  LegacyRrCorpus legacy(g.num_nodes());
+  FillFromSampler(g, 21, 600, flat);
+  FillFromSampler(g, 21, 600, legacy);
+
+  ASSERT_EQ(flat.size(), legacy.size());
+  EXPECT_EQ(flat.TotalEntries(), legacy.TotalEntries());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const auto a = flat.Set(i);
+    const auto b = legacy.Set(i);
+    ASSERT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+              std::vector<NodeId>(b.begin(), b.end()))
+        << i;
+  }
+}
+
+TEST(RrLayoutTest, GreedyMaxCoverMatchesLegacyAcrossK) {
+  const Graph g = WcGraph();
+  RrCollection flat(g.num_nodes());
+  LegacyRrCorpus legacy(g.num_nodes());
+  FillFromSampler(g, 33, 800, flat);
+  FillFromSampler(g, 33, 800, legacy);
+
+  for (const uint32_t k : {1u, 4u, 16u, 64u}) {
+    double flat_fraction = 0, legacy_fraction = 0;
+    EXPECT_EQ(flat.GreedyMaxCover(k, &flat_fraction),
+              legacy.GreedyMaxCover(k, &legacy_fraction))
+        << k;
+    EXPECT_DOUBLE_EQ(flat_fraction, legacy_fraction) << k;
+  }
+}
+
+TEST(RrLayoutTest, DegreeBucketVariantMatchesLegacyHeapOnLargeCorpus) {
+  // 6000 sets crosses the internal heap -> degree-bucket switch; the
+  // legacy baseline always uses the lazy heap, so equality here pins the
+  // bucket variant's (max degree, max node id) tie-breaking exactly. Tiny
+  // node count + many sets maximizes degree ties.
+  constexpr NodeId kNodes = 40;
+  constexpr uint64_t kSets = 6000;
+  RrCollection flat(kNodes);
+  LegacyRrCorpus legacy(kNodes);
+  Rng rng(99);
+  std::vector<NodeId> scratch;
+  for (uint64_t i = 0; i < kSets; ++i) {
+    scratch.clear();
+    const uint32_t size = 1 + rng.NextU32(5);
+    // Distinct members via rejection; sets are tiny relative to kNodes.
+    for (uint32_t j = 0; j < size; ++j) {
+      NodeId v = rng.NextU32(kNodes);
+      while (std::find(scratch.begin(), scratch.end(), v) != scratch.end()) {
+        v = rng.NextU32(kNodes);
+      }
+      scratch.push_back(v);
+    }
+    flat.AppendSet(scratch);
+    legacy.AppendSet(scratch);
+  }
+  for (const uint32_t k : {1u, 3u, 10u, 40u}) {
+    double flat_fraction = 0, legacy_fraction = 0;
+    EXPECT_EQ(flat.GreedyMaxCover(k, &flat_fraction),
+              legacy.GreedyMaxCover(k, &legacy_fraction))
+        << k;
+    EXPECT_DOUBLE_EQ(flat_fraction, legacy_fraction) << k;
+  }
+}
+
+TEST(RrLayoutTest, AppendBatchMatchesPerSetAppend) {
+  RrCollection batched(10);
+  RrCollection individual(10);
+  const std::vector<NodeId> members = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<uint32_t> sizes = {3, 1, 0, 4, 2};  // includes an empty set
+  batched.AppendBatch(members, sizes);
+
+  size_t offset = 0;
+  for (const uint32_t size : sizes) {
+    individual.AppendSet(
+        std::span<const NodeId>(members.data() + offset, size));
+    offset += size;
+  }
+  ASSERT_EQ(batched.size(), individual.size());
+  EXPECT_EQ(batched.TotalEntries(), individual.TotalEntries());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    const auto a = batched.Set(i);
+    const auto b = individual.Set(i);
+    EXPECT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+              std::vector<NodeId>(b.begin(), b.end()))
+        << i;
+  }
+  EXPECT_EQ(batched.GreedyMaxCover(3), individual.GreedyMaxCover(3));
+}
+
+TEST(RrLayoutTest, TruncateAcrossParallelBatchBoundaries) {
+  // Generate through the parallel engine (64-set batches spliced
+  // block-wise), truncate to a size that lands mid-batch, and verify the
+  // survivor arena against the sequential engine set by set — then keep
+  // appending to prove the arena recovers from a rollback.
+  const Graph g = WcGraph();
+  ThreadPool pool(3);
+  SamplerOptions options;
+  options.threads = 4;
+  options.pool = &pool;
+  std::unique_ptr<RrEngine> engine = MakeRrEngine(g, options);
+  RrCollection corpus(g.num_nodes());
+  ASSERT_EQ(engine->Generate(13, 700, corpus, nullptr).generated, 700u);
+
+  corpus.TruncateTo(131);  // 131 = 2*64 + 3: inside the third batch
+  ASSERT_EQ(corpus.size(), 131u);
+
+  RrSampler sequential(g, DiffusionKind::kIndependentCascade);
+  std::vector<NodeId> expected;
+  uint64_t expected_entries = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    sequential.GenerateStream(13, i, expected);
+    expected_entries += expected.size();
+    const auto actual = corpus.Set(i);
+    ASSERT_EQ(std::vector<NodeId>(actual.begin(), actual.end()), expected)
+        << i;
+  }
+  EXPECT_EQ(corpus.TotalEntries(), expected_entries);
+
+  // Appends after a truncation start exactly where the rollback left off.
+  corpus.AppendSet(std::vector<NodeId>{1, 2, 3});
+  EXPECT_EQ(corpus.size(), 132u);
+  const auto tail = corpus.Set(131);
+  EXPECT_EQ(std::vector<NodeId>(tail.begin(), tail.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(corpus.TotalEntries(), expected_entries + 3);
+}
+
+TEST(RrLayoutTest, TruncateToCurrentOrLargerSizeIsANoOp) {
+  RrCollection c(5);
+  c.Add({0, 1});
+  c.Add({2});
+  c.TruncateTo(2);
+  c.TruncateTo(10);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.TotalEntries(), 3u);
+}
+
+TEST(RrLayoutTest, EmptyCorpusCoverPadsSeedsWithZeroFraction) {
+  RrCollection c(6);
+  double fraction = 1.0;
+  const std::vector<NodeId> seeds = c.GreedyMaxCover(3, &fraction);
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(fraction, 0.0);
+}
+
+TEST(RrLayoutTest, KBeyondLiveNodesPadsDeterministically) {
+  // Only nodes 3 and 4 appear in any set; k = 4 must take the live nodes
+  // greedily, then pad with the smallest unchosen ids.
+  RrCollection c(6);
+  c.Add({3, 4});
+  c.Add({3});
+  double fraction = 0;
+  const std::vector<NodeId> seeds = c.GreedyMaxCover(4, &fraction);
+  ASSERT_EQ(seeds.size(), 4u);
+  EXPECT_EQ(seeds[0], 3u);  // covers both sets
+  EXPECT_EQ(std::vector<NodeId>(seeds.begin() + 1, seeds.end()),
+            (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(fraction, 1.0);
+}
+
+TEST(RrLayoutTest, ReserveDoesNotChangeObservableState) {
+  const Graph g = testutil::TwoStars(0.5);
+  RrCollection plain(g.num_nodes());
+  RrCollection reserved(g.num_nodes());
+  reserved.Reserve(500, 2000);
+  FillFromSampler(g, 5, 200, plain);
+  FillFromSampler(g, 5, 200, reserved);
+  ASSERT_EQ(plain.size(), reserved.size());
+  EXPECT_EQ(plain.TotalEntries(), reserved.TotalEntries());
+  EXPECT_EQ(plain.GreedyMaxCover(2), reserved.GreedyMaxCover(2));
+  // The reservation is visible where it should be: the footprint.
+  EXPECT_GE(reserved.MemoryBytes(), 2000 * sizeof(NodeId));
+}
+
+}  // namespace
+}  // namespace imbench
