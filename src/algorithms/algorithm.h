@@ -14,13 +14,11 @@
 #include <vector>
 
 #include "diffusion/cascade.h"
+#include "framework/query_context.h"
 #include "framework/run_guard.h"
 #include "graph/graph.h"
 
 namespace imbench {
-
-class ThreadPool;
-class Trace;
 
 // Instrumentation counters filled in by algorithms as they run. Node
 // lookups are the metric of Appendix C (spread evaluations per iteration).
@@ -32,28 +30,15 @@ struct Counters {
   uint64_t scoring_rounds = 0;      // IMRank / EaSyIM refinement rounds
 };
 
-// Inputs to a seed-selection run.
-struct SelectionInput {
-  const Graph* graph = nullptr;
-  DiffusionKind diffusion = DiffusionKind::kIndependentCascade;
+// Inputs to a seed-selection run: the shared query context (graph,
+// diffusion model, run controls, optional service snapshot/corpus — see
+// framework/query_context.h) plus selection's own knobs. All randomness
+// keys off context.seed via per-item streams, so runs are reproducible and
+// thread-count invariant; algorithms poll context.guard from hot loops and
+// return best-effort partial seeds with a StopReason when it trips.
+struct SelectionInput : QueryContext {
   uint32_t k = 0;
-  uint64_t seed = 1;           // RNG seed: runs are reproducible
   Counters* counters = nullptr;  // optional
-  // Optional run budget. Algorithms poll it from their hot loops; when it
-  // trips they return their best-effort partial seed set with the reason
-  // in SelectionResult::stop_reason instead of running to completion.
-  RunGuard* guard = nullptr;
-  // Worker threads for the parallel sampling engine (1 = sequential,
-  // 0 = all hardware threads). Results are identical for every value: the
-  // RR-set techniques key all randomness off the set index, so `threads`
-  // only changes wall-clock. Techniques without a parallel stage ignore it.
-  uint32_t threads = 1;
-  // Pool override for tests and benchmarks; null = ThreadPool::Shared().
-  ThreadPool* pool = nullptr;
-  // Optional phase-level trace (framework/trace.h). Algorithms open spans
-  // around their canonical phases ("sample", "select", ...) and bump typed
-  // counters; null costs nothing.
-  Trace* trace = nullptr;
 };
 
 // Output of a seed-selection run.

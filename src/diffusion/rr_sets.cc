@@ -219,6 +219,68 @@ void RrCollection::TruncateTo(size_t n) {
   index_valid_ = false;
 }
 
+void RrCollection::ReplaceSets(std::span<const uint32_t> set_ids,
+                               std::span<const NodeId> members,
+                               std::span<const uint32_t> sizes) {
+  IMBENCH_CHECK(set_ids.size() == sizes.size());
+  if (set_ids.empty()) return;
+  for (const NodeId v : members) IMBENCH_CHECK(v < num_nodes_);
+  const size_t num_sets = size();
+  for (size_t i = 0; i < set_ids.size(); ++i) {
+    IMBENCH_CHECK(set_ids[i] < num_sets);
+    IMBENCH_CHECK(i == 0 || set_ids[i - 1] < set_ids[i]);
+  }
+  // Prefix-sum the replacement batch so set_ids[i]'s new members are
+  // members[rep_offsets[i] .. rep_offsets[i + 1]).
+  std::vector<uint64_t> rep_offsets(sizes.size() + 1, 0);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    rep_offsets[i + 1] = rep_offsets[i] + sizes[i];
+  }
+  IMBENCH_CHECK(rep_offsets.back() == members.size());
+
+  // One forward compaction pass: kept sets are block-copied from the old
+  // arena, replaced sets from the batch. Sizes differ in general, so the
+  // pass rebuilds both arenas rather than shifting in place.
+  std::vector<NodeId> new_members;
+  new_members.reserve(members_.size() - (set_offsets_[set_ids.back() + 1] -
+                                         set_offsets_[set_ids.front()]) +
+                      members.size());
+  std::vector<uint64_t> new_offsets;
+  new_offsets.reserve(set_offsets_.size());
+  new_offsets.push_back(0);
+  size_t next_replace = 0;
+  for (size_t id = 0; id < num_sets; ++id) {
+    if (next_replace < set_ids.size() && set_ids[next_replace] == id) {
+      new_members.insert(
+          new_members.end(), members.begin() + rep_offsets[next_replace],
+          members.begin() + rep_offsets[next_replace + 1]);
+      ++next_replace;
+    } else {
+      new_members.insert(new_members.end(),
+                         members_.begin() + set_offsets_[id],
+                         members_.begin() + set_offsets_[id + 1]);
+    }
+    new_offsets.push_back(new_members.size());
+  }
+  members_ = std::move(new_members);
+  set_offsets_ = std::move(new_offsets);
+  index_valid_ = false;
+}
+
+std::vector<uint32_t> RrCollection::SetsContainingAny(
+    std::span<const NodeId> nodes) const {
+  EnsureInvertedIndex();
+  std::vector<uint32_t> ids;
+  for (const NodeId v : nodes) {
+    IMBENCH_CHECK(v < num_nodes_);
+    ids.insert(ids.end(), inv_sets_.begin() + inv_offsets_[v],
+               inv_sets_.begin() + inv_offsets_[v + 1]);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
 uint64_t RrCollection::MemoryBytes() const {
   return members_.capacity() * sizeof(NodeId) +
          set_offsets_.capacity() * sizeof(uint64_t) +
@@ -252,10 +314,19 @@ void RrCollection::EnsureInvertedIndex() const {
 
 std::vector<NodeId> RrCollection::GreedyMaxCover(
     uint32_t k, double* covered_fraction) const {
+  return GreedyMaxCoverPrefix(k, size(), covered_fraction);
+}
+
+std::vector<NodeId> RrCollection::GreedyMaxCoverPrefix(
+    uint32_t k, size_t limit, double* covered_fraction) const {
+  limit = std::min(limit, size());
   EnsureInvertedIndex();
-  return size() >= kDegreeBucketThreshold
-             ? CoverDegreeBuckets(k, covered_fraction)
-             : CoverLazyHeap(k, covered_fraction);
+  // Dispatch on the number of sets actually covered: a warm corpus grown
+  // far past this query's θ should not push a small query onto the
+  // large-corpus path.
+  return limit >= kDegreeBucketThreshold
+             ? CoverDegreeBuckets(k, limit, covered_fraction)
+             : CoverLazyHeap(k, limit, covered_fraction);
 }
 
 namespace {
@@ -275,16 +346,27 @@ void PadSeeds(NodeId num_nodes, uint32_t k, std::vector<uint8_t>& chosen,
 
 }  // namespace
 
+uint32_t RrCollection::PrefixDegree(NodeId v, size_t limit) const {
+  // Each node's inverted-index slice lists set ids in increasing order, so
+  // the ids below `limit` form a prefix of the slice.
+  const auto begin = inv_sets_.begin() + inv_offsets_[v];
+  const auto end = inv_sets_.begin() + inv_offsets_[v + 1];
+  if (limit >= size()) return static_cast<uint32_t>(end - begin);
+  return static_cast<uint32_t>(
+      std::upper_bound(begin, end, static_cast<uint32_t>(limit - 1)) - begin);
+}
+
 std::vector<NodeId> RrCollection::CoverLazyHeap(
-    uint32_t k, double* covered_fraction) const {
-  // Counting greedy with lazy decrement: degree[v] = #uncovered sets that
-  // contain v, read straight off the inverted-index offsets. Every inner
-  // loop below walks a contiguous span of one of the two arenas.
+    uint32_t k, size_t limit, double* covered_fraction) const {
+  // Counting greedy with lazy decrement: degree[v] = #uncovered sets among
+  // the first `limit` that contain v, read off the inverted-index slice
+  // prefix. Every inner loop below walks a contiguous span of one of the
+  // two arenas.
   std::vector<uint32_t> degree(num_nodes_, 0);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    degree[v] = static_cast<uint32_t>(inv_offsets_[v + 1] - inv_offsets_[v]);
+    degree[v] = PrefixDegree(v, limit);
   }
-  std::vector<uint8_t> covered(size(), 0);
+  std::vector<uint8_t> covered(limit, 0);
   std::vector<uint8_t> chosen(num_nodes_, 0);
 
   // Lazy priority queue of (stale degree, node); ties resolve to the
@@ -326,6 +408,7 @@ std::vector<NodeId> RrCollection::CoverLazyHeap(
     seeds.push_back(best);
     for (uint64_t j = inv_offsets_[best]; j < inv_offsets_[best + 1]; ++j) {
       const uint32_t set_id = inv_sets_[j];
+      if (set_id >= limit) break;  // slice is ascending; rest is past limit
       if (covered[set_id]) continue;
       covered[set_id] = 1;
       ++covered_count;
@@ -336,15 +419,15 @@ std::vector<NodeId> RrCollection::CoverLazyHeap(
     }
   }
   if (covered_fraction != nullptr) {
-    *covered_fraction = size() == 0 ? 0.0
-                                    : static_cast<double>(covered_count) /
-                                          static_cast<double>(size());
+    *covered_fraction = limit == 0 ? 0.0
+                                   : static_cast<double>(covered_count) /
+                                         static_cast<double>(limit);
   }
   return seeds;
 }
 
 std::vector<NodeId> RrCollection::CoverDegreeBuckets(
-    uint32_t k, double* covered_fraction) const {
+    uint32_t k, size_t limit, double* covered_fraction) const {
   // Exact greedy over lazily-maintained degree buckets: bucket[d] holds
   // candidate nodes last seen at degree d. Degrees only decrease, so a
   // cursor sweeps from the top bucket downward and never backs up; a node
@@ -355,14 +438,14 @@ std::vector<NodeId> RrCollection::CoverDegreeBuckets(
   std::vector<uint32_t> degree(num_nodes_, 0);
   uint32_t max_degree = 0;
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    degree[v] = static_cast<uint32_t>(inv_offsets_[v + 1] - inv_offsets_[v]);
+    degree[v] = PrefixDegree(v, limit);
     max_degree = std::max(max_degree, degree[v]);
   }
   std::vector<std::vector<NodeId>> buckets(max_degree + 1);
   for (NodeId v = 0; v < num_nodes_; ++v) {
     if (degree[v] > 0) buckets[degree[v]].push_back(v);
   }
-  std::vector<uint8_t> covered(size(), 0);
+  std::vector<uint8_t> covered(limit, 0);
   std::vector<uint8_t> chosen(num_nodes_, 0);
 
   std::vector<NodeId> seeds;
@@ -398,6 +481,7 @@ std::vector<NodeId> RrCollection::CoverDegreeBuckets(
     seeds.push_back(best);
     for (uint64_t j = inv_offsets_[best]; j < inv_offsets_[best + 1]; ++j) {
       const uint32_t set_id = inv_sets_[j];
+      if (set_id >= limit) break;  // slice is ascending; rest is past limit
       if (covered[set_id]) continue;
       covered[set_id] = 1;
       ++covered_count;
@@ -408,9 +492,9 @@ std::vector<NodeId> RrCollection::CoverDegreeBuckets(
     }
   }
   if (covered_fraction != nullptr) {
-    *covered_fraction = size() == 0 ? 0.0
-                                    : static_cast<double>(covered_count) /
-                                          static_cast<double>(size());
+    *covered_fraction = limit == 0 ? 0.0
+                                   : static_cast<double>(covered_count) /
+                                         static_cast<double>(limit);
   }
   return seeds;
 }

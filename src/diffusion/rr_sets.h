@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_options.h"
 #include "diffusion/cascade.h"
 #include "framework/run_guard.h"
 #include "graph/graph.h"
@@ -36,31 +37,31 @@ namespace imbench {
 class ThreadPool;
 class Trace;
 
-// Common constructor shape for the RR-set engines: diffusion kind, optional
-// run guard, worker threads. Shared by RrSampler, ParallelRrSampler and the
+// Common constructor shape for the RR-set engines: diffusion kind plus the
+// shared run controls. Shared by RrSampler, ParallelRrSampler and the
 // MakeRrEngine() factory the algorithms use.
-struct SamplerOptions {
+//
+// CommonRunOptions fields, as the engines read them:
+//   * `guard` is polled inside the reverse BFS/walk, so even a single
+//     exploding RR set (supercritical IC) cannot overrun a budget:
+//     generation stops mid-set and the truncated corpus is returned with
+//     the trip's StopReason.
+//   * `threads` picks the generation backend (1 = sequential, 0 = all
+//     hardware). Corpus contents are identical for every value.
+//   * `trace`: engines add the examined-edge count of every appended set
+//     to kRrEdgesExamined, always from the coordinating thread and only
+//     for the merged prefix, so the totals are thread-count-invariant.
+//     Callers bump kRrSets themselves alongside Counters::rr_sets (RIS may
+//     truncate a chunk after generation, and only the caller knows the
+//     kept count).
+//   * `seed` is unused here: the stream base is an explicit argument of
+//     every Generate() call, because one engine may serve several corpora.
+struct SamplerOptions : CommonRunOptions {
   DiffusionKind kind = DiffusionKind::kIndependentCascade;
-  // Polled inside the reverse BFS/walk, so even a single exploding RR set
-  // (supercritical IC) cannot overrun a budget: generation stops mid-set
-  // and the truncated corpus is returned with the trip's StopReason.
-  RunGuard* guard = nullptr;
-  // Worker threads for generation: 1 = sequential, 0 = all hardware
-  // threads. Corpus contents are identical for every value.
-  uint32_t threads = 1;
   // Cap on total node entries across the sets appended to one collection
   // (0 = unlimited). Crossing it stops generation with StopReason::kMemory
   // — the safety valve behind the paper's "Crashed" cells.
   uint64_t max_total_entries = 0;
-  // Pool override for tests and benchmarks; null = ThreadPool::Shared().
-  ThreadPool* pool = nullptr;
-  // Optional trace: engines add the examined-edge count of every appended
-  // set to kRrEdgesExamined, always from the coordinating thread and only
-  // for the merged prefix, so the totals are thread-count-invariant.
-  // Callers bump kRrSets themselves alongside Counters::rr_sets (RIS may
-  // truncate a chunk after generation, and only the caller knows the kept
-  // count).
-  Trace* trace = nullptr;
 };
 
 // Outcome of one batched generation request.
@@ -88,6 +89,13 @@ class RrEngine {
   virtual RrBatchResult Generate(uint64_t seed, uint64_t count,
                                  RrCollection& out,
                                  std::vector<uint64_t>* widths = nullptr) = 0;
+
+  // Moves the running set index: the next Generate() call draws its first
+  // set from Rng::ForStream(seed, next_index). A fresh engine starts at 0;
+  // the query service seeks to the corpus size so a warm corpus built by an
+  // earlier (possibly discarded) engine is topped up with exactly the sets
+  // a cold engine would have produced next.
+  virtual void SeekStream(uint64_t next_index) = 0;
 };
 
 // Sequential engine; also generates RR sets one at a time with reusable
@@ -125,6 +133,8 @@ class RrSampler : public RrEngine {
 
   RrBatchResult Generate(uint64_t seed, uint64_t count, RrCollection& out,
                          std::vector<uint64_t>* widths = nullptr) override;
+
+  void SeekStream(uint64_t next_index) override { next_index_ = next_index; }
 
   // Hook for the parallel engine: an additional stop flag polled inside
   // the BFS/walk so a sibling lane's trip truncates this lane's in-flight
@@ -205,6 +215,24 @@ class RrCollection {
   // batched generation.
   void TruncateTo(size_t n);
 
+  // Replaces the sets named by `set_ids` (sorted ascending, unique) with
+  // the flat batch `sizes[i]` consecutive entries of `members` — the same
+  // producer shape as AppendBatch. One compaction pass rebuilds both
+  // arenas, so the cost is O(TotalEntries) copies and zero resampling:
+  // this is the mutation-repair primitive of the query service, which
+  // regenerates only the invalidated sets and splices them back in place.
+  // Set ids keep their meaning (set i remains stream i of the sampler).
+  void ReplaceSets(std::span<const uint32_t> set_ids,
+                   std::span<const NodeId> members,
+                   std::span<const uint32_t> sizes);
+
+  // Ids of every set containing at least one of `nodes`, sorted ascending
+  // and deduplicated — the QuickIM-style invalidation query: an RR set's
+  // sampled membership depends only on the in-edges of its member nodes,
+  // so after a mutation touching those nodes these are exactly the sets
+  // that must be repaired. Builds the inverted index on first use.
+  std::vector<uint32_t> SetsContainingAny(std::span<const NodeId> nodes) const;
+
   size_t size() const {
     // Empty-guard keeps a moved-from collection at size 0 instead of
     // underflowing (the constructor always seeds one offset).
@@ -231,13 +259,28 @@ class RrCollection {
   std::vector<NodeId> GreedyMaxCover(uint32_t k,
                                      double* covered_fraction = nullptr) const;
 
+  // Same, restricted to the prefix of the first `limit` sets (set ids
+  // >= limit are ignored for degrees and coverage; the fraction divides by
+  // min(limit, size())). This is how the query service answers a query
+  // over a warm corpus that has grown past the query's own θ: covering
+  // exactly the prefix a cold corpus would contain keeps served seeds
+  // byte-identical to a cold rebuild. limit >= size() degrades to the
+  // plain overload.
+  std::vector<NodeId> GreedyMaxCoverPrefix(
+      uint32_t k, size_t limit, double* covered_fraction = nullptr) const;
+
  private:
   // Builds the node -> set-ids CSR (inv_offsets_ / inv_sets_) from the
   // arena if any mutation happened since the last build.
   void EnsureInvertedIndex() const;
 
-  std::vector<NodeId> CoverLazyHeap(uint32_t k, double* covered_fraction) const;
-  std::vector<NodeId> CoverDegreeBuckets(uint32_t k,
+  // Number of sets with id < limit containing v (prefix of v's slice).
+  uint32_t PrefixDegree(NodeId v, size_t limit) const;
+
+  // Both variants cover only set ids < limit (the prefix restriction).
+  std::vector<NodeId> CoverLazyHeap(uint32_t k, size_t limit,
+                                    double* covered_fraction) const;
+  std::vector<NodeId> CoverDegreeBuckets(uint32_t k, size_t limit,
                                          double* covered_fraction) const;
 
   NodeId num_nodes_;

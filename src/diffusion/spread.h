@@ -3,8 +3,7 @@
 // One entry point: EstimateSpread(graph, kind, seeds, SpreadOptions).
 // Deterministic in (seed, simulations): simulation i always draws from
 // Rng::ForStream(seed, i) and samples are aggregated in index order, so the
-// estimate is bit-identical for every thread count. The older 5-arg and
-// streaming overloads remain as deprecated shims for one release.
+// estimate is bit-identical for every thread count.
 #ifndef IMBENCH_DIFFUSION_SPREAD_H_
 #define IMBENCH_DIFFUSION_SPREAD_H_
 
@@ -12,14 +11,11 @@
 #include <span>
 #include <vector>
 
+#include "common/run_options.h"
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
 
 namespace imbench {
-
-class RunGuard;
-class ThreadPool;
-class Trace;
 
 // Number of MC simulations Kempe et al. recommend and the study adopts for
 // final spread evaluation (Sec. 5.1 "Computing expected spread").
@@ -34,29 +30,20 @@ struct SpreadEstimate {
   double StdError() const;
 };
 
-// How to run one spread estimation.
-struct SpreadOptions {
+// How to run one spread estimation. The shared run controls (seed, threads,
+// guard, trace, pool) come from CommonRunOptions: simulation i uses
+// Rng::ForStream(seed, i) (ignored in streaming mode, see `rng`); the guard
+// is polled once per simulation and a tripped budget aggregates the partial
+// sample prefix; the trace's kSimulations counter is bumped per completed
+// simulation (thread-count-invariant; no spans are opened here because
+// tight greedy loops call EstimateSpread thousands of times).
+struct SpreadOptions : CommonRunOptions {
   uint32_t simulations = kReferenceSimulations;
-  // Stream base: simulation i uses Rng::ForStream(seed, i). Ignored in
-  // streaming mode (see `rng`).
-  uint64_t seed = 1;
-  // Worker threads: 1 = sequential, 0 = all hardware threads. The estimate
-  // is identical for every value; only wall-clock changes.
-  uint32_t threads = 1;
-  // Polled once per simulation; a tripped budget stops early and the
-  // partial sample prefix is aggregated (best-effort for a draining run).
-  RunGuard* guard = nullptr;
   // Streaming mode for tight greedy/CELF loops: reuse the caller's scratch
   // and draw from its live Rng instead of per-simulation streams. Set both
   // together; forces sequential execution (a live stream cannot be split).
   CascadeContext* context = nullptr;
   Rng* rng = nullptr;
-  // Pool override for tests and benchmarks; null = ThreadPool::Shared().
-  ThreadPool* pool = nullptr;
-  // Optional trace: completed simulations are added to its kSimulations
-  // counter (thread-count-invariant; no spans are opened here because tight
-  // greedy loops call EstimateSpread thousands of times).
-  Trace* trace = nullptr;
 };
 
 // Runs options.simulations cascades of `seeds` and aggregates Γ(S). An
@@ -64,35 +51,6 @@ struct SpreadOptions {
 SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               const SpreadOptions& options);
-
-// --- Deprecated shims (one release), kept so downstream code migrates on
-// --- its own schedule. Both forward to the SpreadOptions entry point.
-
-[[deprecated(
-    "use EstimateSpread(graph, kind, seeds, SpreadOptions{...})")]]
-inline SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
-                                     std::span<const NodeId> seeds,
-                                     uint32_t simulations, uint64_t seed) {
-  SpreadOptions options;
-  options.simulations = simulations;
-  options.seed = seed;
-  return EstimateSpread(graph, kind, seeds, options);
-}
-
-[[deprecated(
-    "use EstimateSpread with SpreadOptions{.context=..., .rng=...}")]]
-inline SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
-                                     std::span<const NodeId> seeds,
-                                     uint32_t simulations,
-                                     CascadeContext& context, Rng& rng,
-                                     RunGuard* guard = nullptr) {
-  SpreadOptions options;
-  options.simulations = simulations;
-  options.guard = guard;
-  options.context = &context;
-  options.rng = &rng;
-  return EstimateSpread(graph, kind, seeds, options);
-}
 
 }  // namespace imbench
 

@@ -49,10 +49,15 @@ struct CellResult {
 
 const char* CellStatusName(CellResult::Status status);
 
-// Shared configuration for a harness run.
-struct WorkbenchOptions {
+// Shared configuration for a harness run. The common run controls come
+// from CommonRunOptions (harness seed default is 7, not 1); the `guard`
+// and `trace` pointers inherited from the base are *not* consumed here —
+// the workbench builds one RunGuard per cell from the budget fields below
+// and owns its Trace when trace_out_path is set.
+struct WorkbenchOptions : CommonRunOptions {
+  WorkbenchOptions() { seed = 7; }
+
   DatasetScale scale = DatasetScale::kBench;
-  uint64_t seed = 7;
   // r for final spread evaluation. The paper uses 10K; harness defaults
   // lower it so every binary finishes quickly (override with --mc).
   uint32_t evaluation_simulations = 1000;
@@ -66,11 +71,6 @@ struct WorkbenchOptions {
   // External cancel flag (e.g. SigintCancelFlag()). When it goes true the
   // in-flight cell drains and is reported kCancelled.
   const std::atomic<bool>* cancel = nullptr;
-  // Worker threads for the parallel stages (RR-set generation inside the
-  // RR techniques, the MC evaluation pass): 1 = sequential, 0 = all
-  // hardware threads. Results are thread-count invariant; only wall-clock
-  // changes.
-  uint32_t threads = 1;
   // Path of the results journal; empty disables journaling.
   std::string journal_path;
   // When non-empty the workbench owns a Trace, wraps every cell in a

@@ -26,17 +26,18 @@ FrameworkResult RunImFramework(const Graph& graph, const AlgorithmSpec& spec,
     input.k = options.k;
     input.seed = options.seed;
     input.threads = options.threads;
+    input.guard = options.guard;
     input.trace = options.trace;
+    input.pool = options.pool;
     Timer timer;
     SelectionResult selection = algorithm->Select(input);
     trial.select_seconds = timer.Seconds();
     trial.seeds = std::move(selection.seeds);
     // Spread computation phase: identical MC evaluation for everyone.
     SpreadOptions eval;
+    static_cast<CommonRunOptions&>(eval) = options;
     eval.simulations = options.evaluation_simulations;
     eval.seed = options.seed ^ 0x5f12ead0c0ffeeULL;
-    eval.threads = options.threads;
-    eval.trace = options.trace;
     Span evaluate_span(options.trace, "evaluate");
     trial.spread = EstimateSpread(graph, kind, trial.seeds, eval);
     return trial;

@@ -22,22 +22,16 @@
 
 namespace imbench {
 
-class Trace;
-
-struct FrameworkOptions {
+// Shared run controls (seed, threads, guard, trace, pool) come from
+// CommonRunOptions and flow into both selection and evaluation. The trace
+// sees one "trial" span per spectrum point containing the algorithm's own
+// phase spans plus an "evaluate" span around the MC spread computation.
+struct FrameworkOptions : CommonRunOptions {
   uint32_t k = 50;
   // r for the spread-computation phase (10K in the paper, Sec. 5.1).
   uint32_t evaluation_simulations = kReferenceSimulations;
-  uint64_t seed = 1;
   // Convergence slack in standard deviations (1.0 per Sec. 5.1.1).
   double tolerance_stddevs = 1.0;
-  // Worker threads for selection's sampling engine and the MC evaluation
-  // (1 = sequential, 0 = all hardware). Thread-count invariant results.
-  uint32_t threads = 1;
-  // Optional phase-level trace. Each trial opens a "trial" span containing
-  // the algorithm's own phase spans plus an "evaluate" span around the MC
-  // spread computation. Not owned; may be null.
-  Trace* trace = nullptr;
 };
 
 // One (parameter, seeds, spread) evaluation along the spectrum.

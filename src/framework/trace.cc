@@ -12,6 +12,7 @@ namespace {
 constexpr const char* kCounterNames[kNumTraceCounters] = {
     "rr_sets",   "rr_edges_examined",   "simulations",    "node_lookups",
     "queue_reevaluations", "snapshots", "scoring_rounds", "guard_polls",
+    "rr_sets_repaired",    "rr_sets_reused",              "corpus_epochs",
 };
 
 void AppendEscaped(std::string& out, std::string_view text) {

@@ -47,8 +47,11 @@ enum class TraceCounter : uint8_t {
   kSnapshots,           // snapshot subgraphs materialized (SG/PMC)
   kScoringRounds,       // full scoring sweeps (IMRank/EaSyIM/IRIE)
   kGuardPolls,          // RunGuard::ShouldStop() polls at sequential sites
+  kRrSetsRepaired,      // warm-corpus sets regenerated after a mutation
+  kRrSetsReused,        // warm-corpus sets served without resampling
+  kCorpusEpochs,        // warm-corpus migrations to a newer graph epoch
 };
-inline constexpr int kNumTraceCounters = 8;
+inline constexpr int kNumTraceCounters = 11;
 
 // Short stable identifier used as the JSON key ("rr_sets", ...).
 const char* TraceCounterName(TraceCounter counter);

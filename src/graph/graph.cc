@@ -104,6 +104,15 @@ void Graph::SetWeights(std::span<const double> weights) {
   }
 }
 
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return kInvalidEdge;
+  const NodeId* begin = out_targets_.data() + out_offsets_[u];
+  const NodeId* end = out_targets_.data() + out_offsets_[u + 1];
+  const NodeId* it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return kInvalidEdge;
+  return out_offsets_[u] + static_cast<EdgeId>(it - begin);
+}
+
 double Graph::InWeightSum(NodeId v) const {
   double sum = 0;
   for (double w : InWeights(v)) sum += w;

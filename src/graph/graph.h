@@ -19,6 +19,7 @@ using NodeId = uint32_t;
 using EdgeId = uint64_t;
 
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
 
 // A directed arc used while building a graph.
 struct Arc {
@@ -100,6 +101,10 @@ class Graph {
   // Replaces every edge weight; `weights` is indexed by forward edge id.
   // Also refreshes the reverse-CSR weight mirror.
   void SetWeights(std::span<const double> weights);
+
+  // Forward edge id of (u, v), or kInvalidEdge if absent. O(log outdeg(u)):
+  // FromArcs sorts arcs by (source, target), so OutTargets(u) is ascending.
+  EdgeId FindEdge(NodeId u, NodeId v) const;
 
   // Number of parallel arcs that were collapsed into each edge (>= 1).
   // Used by the LT-parallel-edges weight model (Sec. 2.1.2).

@@ -1,0 +1,128 @@
+#include "service/epoch_graph_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace imbench {
+
+EpochGraphStore::EpochGraphStore(Graph graph)
+    : current_(std::make_shared<const Graph>(std::move(graph))) {}
+
+uint64_t EpochGraphStore::Publish(Graph next, std::vector<NodeId> touched) {
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  touched_log_.push_back(std::move(touched));
+  current_ = std::make_shared<const Graph>(std::move(next));
+  return ++epoch_;
+}
+
+uint64_t EpochGraphStore::AddEdges(std::span<const WeightedArc> arcs) {
+  const Graph& old = *current_;
+  const NodeId n = old.num_nodes();
+  for (const WeightedArc& a : arcs) {
+    IMBENCH_CHECK_MSG(a.source < n && a.target < n,
+                      "arc (%u, %u) out of range for %u nodes", a.source,
+                      a.target, n);
+    IMBENCH_CHECK_MSG(a.source != a.target, "self loop (%u, %u) rejected",
+                      a.source, a.target);
+  }
+
+  // Flatten the old CSR back to a weighted arc list. Edges are visited in
+  // (source, target) order, so index == old forward edge id. Multiplicity
+  // is carried along so collapsed parallel arcs survive the rebuild (they
+  // are re-expanded below and FromArcs re-collapses them identically).
+  struct Entry {
+    NodeId source;
+    NodeId target;
+    double weight;
+    uint32_t multiplicity;
+  };
+  std::vector<Entry> all;
+  all.reserve(old.num_edges() + arcs.size());
+  EdgeId id = 0;  // forward edge ids enumerate in (source, target) order
+  for (NodeId u = 0; u < n; ++u) {
+    const std::span<const NodeId> targets = old.OutTargets(u);
+    const std::span<const double> weights = old.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i, ++id) {
+      all.push_back(
+          Entry{u, targets[i], weights[i], old.EdgeMultiplicity(id)});
+    }
+  }
+  std::vector<NodeId> touched;
+  touched.reserve(arcs.size());
+  for (const WeightedArc& a : arcs) {
+    const EdgeId existing = old.FindEdge(a.source, a.target);
+    if (existing != kInvalidEdge) {
+      all[existing].weight = a.weight;  // existing arc: weight update
+    } else {
+      all.push_back(Entry{a.source, a.target, a.weight, 1});
+    }
+    touched.push_back(a.target);
+  }
+  // Duplicate additions within this call: the later entry wins. A stable
+  // sort keeps call order within each (source, target) run, then the
+  // dedup pass keeps each run's last entry.
+  std::stable_sort(all.begin(), all.end(), [](const Entry& x, const Entry& y) {
+    return x.source != y.source ? x.source < y.source : x.target < y.target;
+  });
+  size_t write = 0;
+  for (size_t read = 0; read < all.size();) {
+    size_t run = read + 1;
+    while (run < all.size() && all[run].source == all[read].source &&
+           all[run].target == all[read].target) {
+      ++run;
+    }
+    all[write++] = all[run - 1];
+    read = run;
+  }
+  all.resize(write);
+
+  // `all` is sorted by (source, target) with no duplicates, which is
+  // exactly the edge-id order FromArcs produces after re-collapsing the
+  // expanded parallel arcs, so weights line up by index after the rebuild.
+  std::vector<Arc> shape;
+  std::vector<double> weights;
+  weights.reserve(all.size());
+  for (const Entry& e : all) {
+    for (uint32_t c = 0; c < e.multiplicity; ++c) {
+      shape.push_back(Arc{e.source, e.target});
+    }
+    weights.push_back(e.weight);
+  }
+  Graph next = Graph::FromArcs(n, std::move(shape));
+  next.SetWeights(weights);
+  return Publish(std::move(next), std::move(touched));
+}
+
+uint64_t EpochGraphStore::UpdateWeights(std::span<const WeightedArc> arcs) {
+  const Graph& old = *current_;
+  Graph next = old.Clone();
+  std::vector<double> weights(old.weights().begin(), old.weights().end());
+  std::vector<NodeId> touched;
+  touched.reserve(arcs.size());
+  for (const WeightedArc& a : arcs) {
+    const EdgeId e = old.FindEdge(a.source, a.target);
+    IMBENCH_CHECK_MSG(e != kInvalidEdge, "UpdateWeights: edge (%u, %u) absent",
+                      a.source, a.target);
+    weights[e] = a.weight;
+    touched.push_back(a.target);
+  }
+  next.SetWeights(weights);
+  return Publish(std::move(next), std::move(touched));
+}
+
+std::vector<NodeId> EpochGraphStore::TouchedSince(uint64_t since_epoch) const {
+  IMBENCH_CHECK(since_epoch <= epoch_);
+  std::vector<NodeId> touched;
+  for (uint64_t e = since_epoch; e < epoch_; ++e) {
+    touched.insert(touched.end(), touched_log_[e].begin(),
+                   touched_log_[e].end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+}  // namespace imbench

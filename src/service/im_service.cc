@@ -1,0 +1,143 @@
+#include "service/im_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "framework/trace.h"
+
+namespace imbench {
+
+namespace {
+
+// ln C(n, k) via lgamma (same helper TIM+/IMM use).
+double LogChoose(double n, double k) {
+  if (k <= 0 || k >= n) return 0;
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+}  // namespace
+
+ImService::ImService(EpochGraphStore& store, const ServiceOptions& options)
+    : store_(store),
+      options_(options),
+      corpus_(store.Current().graph->num_nodes()),
+      corpus_graph_(store.Current().graph),
+      corpus_epoch_(store.Current().epoch) {}
+
+uint64_t ImService::RequiredSets(NodeId num_nodes, uint32_t k,
+                                 double epsilon) {
+  IMBENCH_CHECK(num_nodes > 0);
+  IMBENCH_CHECK(epsilon > 0);
+  const double n = static_cast<double>(num_nodes);
+  const double kk = static_cast<double>(std::max<uint32_t>(k, 1));
+  const double lambda = (8.0 + 2.0 * epsilon) * n *
+                        (std::log(n) + LogChoose(n, kk) + std::log(2.0)) /
+                        (epsilon * epsilon);
+  const double theta = std::ceil(lambda / kk);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(theta));
+}
+
+bool ImService::RepairCorpus(const EpochGraphStore::Snapshot& snap,
+                             RunGuard* guard, ImQueryResult* result) {
+  const std::vector<NodeId> touched = store_.TouchedSince(corpus_epoch_);
+  TraceAdd(options_.trace, TraceCounter::kCorpusEpochs);
+  if (touched.empty() || corpus_.size() == 0) return true;
+  const std::vector<uint32_t> invalid = corpus_.SetsContainingAny(touched);
+  if (invalid.empty()) return true;
+
+  // Regenerate each invalidated stream on the new snapshot. Per-set
+  // streams make this exact: set i regenerated here is the set a cold
+  // engine would produce at index i on this graph. Repair is sequential —
+  // the damage is proportional to the mutation, not the corpus.
+  RrSampler sampler(*snap.graph, options_.kind, guard);
+  std::vector<NodeId> members;
+  std::vector<uint32_t> sizes;
+  sizes.reserve(invalid.size());
+  std::vector<NodeId> scratch;
+  for (const uint32_t id : invalid) {
+    sampler.GenerateStream(options_.seed, id, scratch);
+    if (guard != nullptr && guard->stopped()) {
+      // The in-flight set may be truncated and a partial splice would be
+      // silently wrong; drop the warm corpus and let the query go cold.
+      corpus_ = RrCollection(snap.graph->num_nodes());
+      return false;
+    }
+    members.insert(members.end(), scratch.begin(), scratch.end());
+    sizes.push_back(static_cast<uint32_t>(scratch.size()));
+  }
+  corpus_.ReplaceSets(invalid, members, sizes);
+  result->sets_repaired = invalid.size();
+  TraceAdd(options_.trace, TraceCounter::kRrSetsRepaired, invalid.size());
+  return true;
+}
+
+ImQueryResult ImService::Query(const ImQuery& query) {
+  IMBENCH_CHECK(query.k > 0);
+  const EpochGraphStore::Snapshot snap = store_.Current();
+  RunGuard guard(query.budget);
+  ImQueryResult result;
+  result.epoch = snap.epoch;
+
+  if (corpus_epoch_ != snap.epoch) {
+    RepairCorpus(snap, &guard, &result);
+    corpus_graph_ = snap.graph;
+    corpus_epoch_ = snap.epoch;
+  }
+
+  const double epsilon =
+      query.epsilon > 0 ? query.epsilon : options_.epsilon;
+  const uint64_t required =
+      RequiredSets(snap.graph->num_nodes(), query.k, epsilon);
+  const uint64_t warm = corpus_.size();
+
+  if (required > warm) {
+    SamplerOptions sampler_options;
+    static_cast<CommonRunOptions&>(sampler_options) = options_;
+    sampler_options.guard = &guard;
+    sampler_options.kind = options_.kind;
+    sampler_options.max_total_entries = options_.max_total_entries;
+    std::unique_ptr<RrEngine> engine =
+        MakeRrEngine(*snap.graph, sampler_options);
+    engine->SeekStream(warm);
+    const RrBatchResult batch =
+        engine->Generate(options_.seed, required - warm, corpus_);
+    result.sets_sampled = batch.generated;
+    result.stop_reason = batch.stop;
+    TraceAdd(options_.trace, TraceCounter::kRrSets, batch.generated);
+  } else if (guard.ShouldStop()) {
+    result.stop_reason = guard.reason();
+  }
+
+  // Warm sets serving this query: the prefix the cover reads minus the
+  // ones repair just regenerated (ids are corpus positions, so repaired
+  // ids >= the prefix don't count against reuse — but tracking which is
+  // which isn't worth it; sets_repaired here is a strict upper bound on
+  // the repaired sets inside the prefix, keeping `reused` conservative).
+  const uint64_t prefix = std::min<uint64_t>(required, warm);
+  result.sets_reused =
+      prefix > result.sets_repaired ? prefix - result.sets_repaired : 0;
+  TraceAdd(options_.trace, TraceCounter::kRrSetsReused, result.sets_reused);
+
+  const size_t limit =
+      static_cast<size_t>(std::min<uint64_t>(required, corpus_.size()));
+  result.sets_used = limit;
+  result.seeds = corpus_.GreedyMaxCoverPrefix(query.k, limit,
+                                              &result.covered_fraction);
+  return result;
+}
+
+QueryContext ImService::MakeContext() {
+  QueryContext context;
+  static_cast<CommonRunOptions&>(context) = options_;
+  context.guard = nullptr;  // queries build their own per-run guard
+  const EpochGraphStore::Snapshot snap = store_.Current();
+  context.snapshot = snap.graph;
+  context.graph = snap.graph.get();
+  context.epoch = snap.epoch;
+  context.diffusion = options_.kind;
+  context.corpus = corpus_epoch_ == snap.epoch ? &corpus_ : nullptr;
+  return context;
+}
+
+}  // namespace imbench

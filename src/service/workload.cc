@@ -1,0 +1,175 @@
+#include "service/workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "framework/run_guard.h"
+
+namespace imbench {
+
+namespace {
+
+bool Fail(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+  return false;
+}
+
+// Parses "source,target,weight".
+bool ParseArc(const std::string& token, WeightedArc* arc) {
+  unsigned long source = 0;
+  unsigned long target = 0;
+  double weight = 0;
+  char trailing = 0;
+  if (std::sscanf(token.c_str(), "%lu,%lu,%lf%c", &source, &target, &weight,
+                  &trailing) != 3) {
+    return false;
+  }
+  arc->source = static_cast<NodeId>(source);
+  arc->target = static_cast<NodeId>(target);
+  arc->weight = weight;
+  return true;
+}
+
+// Parses "key=value"; returns the key ("" on malformed).
+std::string SplitKeyValue(const std::string& token, std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) return "";
+  *value = token.substr(eq + 1);
+  return token.substr(0, eq);
+}
+
+void AppendJsonQuery(std::string* log, const ImQueryResult& r) {
+  std::ostringstream out;
+  out << "{\"op\":\"query\",\"epoch\":" << r.epoch << ",\"seeds\":[";
+  for (size_t i = 0; i < r.seeds.size(); ++i) {
+    if (i > 0) out << ',';
+    out << r.seeds[i];
+  }
+  out << "],\"sets_used\":" << r.sets_used
+      << ",\"sets_sampled\":" << r.sets_sampled
+      << ",\"sets_reused\":" << r.sets_reused
+      << ",\"sets_repaired\":" << r.sets_repaired
+      << ",\"covered_fraction\":" << r.covered_fraction << ",\"stop\":\""
+      << StopReasonName(r.stop_reason) << "\"}\n";
+  *log += out.str();
+}
+
+}  // namespace
+
+bool ParseWorkload(const std::string& text, std::vector<WorkloadOp>* ops,
+                   std::string* error) {
+  ops->clear();
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string op_name;
+    if (!(tokens >> op_name)) continue;  // blank / comment-only line
+
+    WorkloadOp op;
+    if (op_name == "query") {
+      op.kind = WorkloadOp::Kind::kQuery;
+      bool have_k = false;
+      std::string token;
+      while (tokens >> token) {
+        std::string value;
+        const std::string key = SplitKeyValue(token, &value);
+        char* end = nullptr;
+        const double number = std::strtod(value.c_str(), &end);
+        if (key.empty() || end == value.c_str() || *end != '\0') {
+          return Fail(error, line_number, "bad query option '" + token + "'");
+        }
+        if (key == "k") {
+          op.query.k = static_cast<uint32_t>(number);
+          have_k = op.query.k > 0;
+        } else if (key == "eps") {
+          op.query.epsilon = number;
+        } else if (key == "deadline") {
+          op.query.budget.deadline_seconds = number;
+        } else if (key == "mem") {
+          op.query.budget.max_heap_bytes =
+              static_cast<uint64_t>(number * 1024.0 * 1024.0);
+        } else {
+          return Fail(error, line_number, "unknown query option '" + key + "'");
+        }
+      }
+      if (!have_k) {
+        return Fail(error, line_number, "query requires k=<positive int>");
+      }
+    } else if (op_name == "add" || op_name == "update") {
+      op.kind = op_name == "add" ? WorkloadOp::Kind::kAddEdges
+                                 : WorkloadOp::Kind::kUpdateWeights;
+      std::string token;
+      while (tokens >> token) {
+        WeightedArc arc;
+        if (!ParseArc(token, &arc)) {
+          return Fail(error, line_number,
+                      "bad arc '" + token + "' (want source,target,weight)");
+        }
+        op.arcs.push_back(arc);
+      }
+      if (op.arcs.empty()) {
+        return Fail(error, line_number, op_name + " requires at least one arc");
+      }
+    } else {
+      return Fail(error, line_number, "unknown op '" + op_name + "'");
+    }
+    ops->push_back(std::move(op));
+  }
+  return true;
+}
+
+bool ParseWorkloadFile(const std::string& path, std::vector<WorkloadOp>* ops,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseWorkload(text.str(), ops, error);
+}
+
+ReplayResult ReplayWorkload(EpochGraphStore& store, ImService& service,
+                            const std::vector<WorkloadOp>& ops,
+                            std::string* log) {
+  ReplayResult result;
+  for (const WorkloadOp& op : ops) {
+    switch (op.kind) {
+      case WorkloadOp::Kind::kQuery: {
+        ImQueryResult r = service.Query(op.query);
+        if (log != nullptr) AppendJsonQuery(log, r);
+        result.queries.push_back(std::move(r));
+        break;
+      }
+      case WorkloadOp::Kind::kAddEdges:
+      case WorkloadOp::Kind::kUpdateWeights: {
+        const uint64_t epoch =
+            op.kind == WorkloadOp::Kind::kAddEdges
+                ? store.AddEdges(op.arcs)
+                : store.UpdateWeights(op.arcs);
+        ++result.mutations;
+        if (log != nullptr) {
+          *log += "{\"op\":\"";
+          *log += op.kind == WorkloadOp::Kind::kAddEdges ? "add" : "update";
+          *log += "\",\"arcs\":" + std::to_string(op.arcs.size()) +
+                  ",\"epoch\":" + std::to_string(epoch) + "}\n";
+        }
+        break;
+      }
+    }
+  }
+  result.final_epoch = store.epoch();
+  return result;
+}
+
+}  // namespace imbench

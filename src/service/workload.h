@@ -1,0 +1,59 @@
+// Line-oriented query+mutation workloads for the IM service.
+//
+// Format (one op per line; '#' starts a comment; blank lines ignored):
+//
+//   query k=10 [eps=2.0] [deadline=1.5] [mem=64]
+//   add 3,7,0.5 1,2,0.25
+//   update 0,4,0.9
+//
+// `query` serves ImService::Query with the given seed-set size, optional
+// accuracy ε (default: the service's), optional wall-clock deadline in
+// seconds and heap cap in MB. `add` / `update` are EpochGraphStore
+// mutations taking source,target,weight triples (one call per line, so a
+// line is one epoch transition). This is the format `im_run --serve
+// --workload=FILE` replays; tests/service_test.cc drives the same parser.
+#ifndef IMBENCH_SERVICE_WORKLOAD_H_
+#define IMBENCH_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/epoch_graph_store.h"
+#include "service/im_service.h"
+
+namespace imbench {
+
+struct WorkloadOp {
+  enum class Kind { kQuery, kAddEdges, kUpdateWeights };
+  Kind kind = Kind::kQuery;
+  ImQuery query;                  // kQuery
+  std::vector<WeightedArc> arcs;  // kAddEdges / kUpdateWeights
+};
+
+// Parses workload text. On a malformed line, returns false and describes
+// the problem in *error (1-based line number included).
+bool ParseWorkload(const std::string& text, std::vector<WorkloadOp>* ops,
+                   std::string* error);
+
+// Reads and parses a workload file; false on I/O or parse error.
+bool ParseWorkloadFile(const std::string& path, std::vector<WorkloadOp>* ops,
+                       std::string* error);
+
+// Outcome of replaying one workload against a store + service.
+struct ReplayResult {
+  std::vector<ImQueryResult> queries;  // one per `query` op, in order
+  uint64_t mutations = 0;              // epoch transitions applied
+  uint64_t final_epoch = 0;
+};
+
+// Executes the ops in order. When `log` is non-null, appends one JSON
+// object per op (newline-terminated) describing what happened — the
+// machine-readable replay record `im_run --serve` prints.
+ReplayResult ReplayWorkload(EpochGraphStore& store, ImService& service,
+                            const std::vector<WorkloadOp>& ops,
+                            std::string* log = nullptr);
+
+}  // namespace imbench
+
+#endif  // IMBENCH_SERVICE_WORKLOAD_H_

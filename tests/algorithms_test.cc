@@ -12,6 +12,7 @@
 #include "framework/datasets.h"
 #include "framework/registry.h"
 #include "graph/weights.h"
+#include "tests/test_util.h"
 
 namespace imbench {
 namespace {
@@ -104,7 +105,7 @@ TEST_P(AlgorithmPropertyTest, BeatsBottomDegreeBaseline) {
       spec->make(CheapestParameter(*spec))->Select(input);
   const double spread =
       EstimateSpread(g, input.diffusion, result.seeds,
-                     {.simulations = 1000, .seed = 11}).mean;
+                     testutil::SpreadOpts(1000, 11)).mean;
 
   // Baseline: the k lowest out-degree nodes.
   std::vector<std::pair<uint32_t, NodeId>> by_degree;
@@ -116,7 +117,7 @@ TEST_P(AlgorithmPropertyTest, BeatsBottomDegreeBaseline) {
   for (int i = 0; i < 8; ++i) bottom.push_back(by_degree[i].second);
   const double bottom_spread =
       EstimateSpread(g, input.diffusion, bottom,
-                     {.simulations = 1000, .seed = 11}).mean;
+                     testutil::SpreadOpts(1000, 11)).mean;
   EXPECT_GE(spread, bottom_spread);
 }
 

@@ -56,7 +56,7 @@ TEST(GraphEdgeCasesTest, EmptySeedSetSpreadIsZero) {
   const std::vector<NodeId> none;
   const SpreadEstimate est =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, none,
-                     {.simulations = 50, .seed = 1});
+                     testutil::SpreadOpts(50, 1));
   EXPECT_DOUBLE_EQ(est.mean, 0.0);
 }
 
@@ -66,7 +66,7 @@ TEST(GraphEdgeCasesTest, SeedingEveryNodeSpreadsToN) {
   for (NodeId v = 0; v < 6; ++v) all.push_back(v);
   const SpreadEstimate est =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, all,
-                     {.simulations = 20, .seed = 1});
+                     testutil::SpreadOpts(20, 1));
   EXPECT_DOUBLE_EQ(est.mean, 6.0);
   EXPECT_DOUBLE_EQ(est.stddev, 0.0);
 }

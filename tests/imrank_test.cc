@@ -97,7 +97,7 @@ TEST(ImRankTest, BeatsReverseDegreeOrdering) {
   const SelectionResult result = imrank.Select(IcInput(g, 10, nullptr));
   const double spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
 
   // Bottom-degree baseline.
@@ -110,7 +110,7 @@ TEST(ImRankTest, BeatsReverseDegreeOrdering) {
   for (int i = 0; i < 10; ++i) bottom.push_back(by_degree[i].second);
   const double bottom_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, bottom,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_GT(spread, bottom_spread);
 }

@@ -68,7 +68,7 @@ TEST(LdagTest, QualityTracksMcEvaluationOnRealProfile) {
   ASSERT_EQ(result.seeds.size(), 10u);
   const double spread =
       EstimateSpread(g, DiffusionKind::kLinearThreshold, result.seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   // LDAG's internal estimate is a truncated-influence approximation; it
   // should be in the same ballpark as the MC evaluation.

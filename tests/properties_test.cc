@@ -49,7 +49,7 @@ TEST_P(RrTheoremTest, HitRateMatchesNormalizedSpread) {
   const std::vector<NodeId> seeds = {1, 4, 9, 16, 25};
 
   const double sigma =
-      EstimateSpread(g, kind, seeds, {.simulations = 20000, .seed = 7}).mean;
+      EstimateSpread(g, kind, seeds, testutil::SpreadOpts(20000, 7)).mean;
   const double hit_rate = RrHitRate(g, kind, seeds, 20000, /*seed=*/13);
   const double predicted = sigma / g.num_nodes();
   EXPECT_NEAR(hit_rate, predicted, 0.012)
@@ -76,7 +76,7 @@ TEST(SpreadPropertiesTest, MonotoneInEdgeProbability) {
     AssignConstantWeights(g, p);
     const double sigma =
         EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                       {.simulations = 4000, .seed = 9})
+                       testutil::SpreadOpts(4000, 9))
             .mean;
     EXPECT_GE(sigma, previous - 0.2) << p;  // small MC slack
     previous = sigma;
@@ -92,7 +92,7 @@ TEST(SpreadPropertiesTest, MonotoneInSeedSetAcrossPrefixes) {
     seeds.push_back(v);
     const double sigma =
         EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                       {.simulations = 3000, .seed = 5})
+                       testutil::SpreadOpts(3000, 5))
             .mean;
     EXPECT_GE(sigma, previous - 0.2);
     previous = sigma;
@@ -108,15 +108,15 @@ TEST(SpreadPropertiesTest, SubmodularDiminishingReturns) {
   const std::vector<NodeId> both = {0, 1};
   const double s_hub =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, hub,
-                     {.simulations = 20000, .seed = 3})
+                     testutil::SpreadOpts(20000, 3))
           .mean;
   const double s_child =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, child,
-                     {.simulations = 20000, .seed = 3})
+                     testutil::SpreadOpts(20000, 3))
           .mean;
   const double s_both =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, both,
-                     {.simulations = 20000, .seed = 3})
+                     testutil::SpreadOpts(20000, 3))
           .mean;
   EXPECT_LT(s_both - s_hub, s_child - 0.05);
 }
@@ -131,7 +131,7 @@ TEST(SpreadPropertiesTest, LtLiveEdgeEquivalence) {
 
   const double threshold_sigma =
       EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds,
-                     {.simulations = 20000, .seed = 17})
+                     testutil::SpreadOpts(20000, 17))
           .mean;
 
   // Live-edge simulation: every node keeps one in-edge with probability

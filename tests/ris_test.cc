@@ -59,7 +59,7 @@ TEST(RisTest, QualityComparableToRrSuccessors) {
       InputFor(g, 10, nullptr, DiffusionKind::kIndependentCascade));
   const double spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_GT(spread, 10.0);
   std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());

@@ -104,11 +104,11 @@ TEST(RrAlgorithmsTest, TimAndImmAgreeOnQuality) {
           .seeds;
   const double tim_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, tim_seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   const double imm_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, imm_seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_NEAR(tim_spread, imm_spread, 0.15 * std::max(tim_spread, imm_spread));
 }
@@ -122,7 +122,7 @@ TEST(RrAlgorithmsTest, ExtrapolatedSpreadExceedsMcSpread) {
       InputFor(g, 10, nullptr, DiffusionKind::kIndependentCascade));
   const double mc_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_GE(result.internal_spread_estimate, mc_spread * 0.95);
 }

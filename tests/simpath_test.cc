@@ -98,7 +98,7 @@ TEST(SimpathTest, AgreesWithMcEvaluationOnRealProfile) {
   const SelectionResult result = simpath.Select(LtInput(g, 5));
   const double mc =
       EstimateSpread(g, DiffusionKind::kLinearThreshold, result.seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_NEAR(result.internal_spread_estimate, mc, 0.25 * mc + 1.0);
 }

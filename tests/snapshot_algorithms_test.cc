@@ -71,7 +71,7 @@ TEST(StaticGreedyTest, InternalEstimateTracksMcSpread) {
   const SelectionResult result = sg.Select(IcInput(g, 5, nullptr));
   const double mc =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, result.seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_NEAR(result.internal_spread_estimate, mc, 0.15 * mc + 1.0);
 }
@@ -101,11 +101,11 @@ TEST(PmcTest, AgreesWithStaticGreedyOnQuality) {
   const auto pmc_seeds = pmc.Select(IcInput(g, 8, nullptr)).seeds;
   const double sg_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, sg_seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   const double pmc_spread =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, pmc_seeds,
-                     {.simulations = 2000, .seed = 1})
+                     testutil::SpreadOpts(2000, 1))
           .mean;
   EXPECT_NEAR(sg_spread, pmc_spread,
               0.12 * std::max(sg_spread, pmc_spread) + 1.0);

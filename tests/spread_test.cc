@@ -1,18 +1,21 @@
 #include "diffusion/spread.h"
 
 #include <gtest/gtest.h>
+#include "common/thread_pool.h"
+#include "framework/datasets.h"
 #include "graph/weights.h"
 #include "tests/test_util.h"
 
 namespace imbench {
 namespace {
 
+using testutil::SpreadOpts;
+
 TEST(SpreadTest, DeterministicChainHasZeroVariance) {
   Graph g = testutil::PathGraph(5, 1.0);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 200, .seed = 1});
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(200, 1));
   EXPECT_DOUBLE_EQ(est.mean, 5.0);
   EXPECT_DOUBLE_EQ(est.stddev, 0.0);
   EXPECT_DOUBLE_EQ(est.StdError(), 0.0);
@@ -22,12 +25,10 @@ TEST(SpreadTest, DeterministicChainHasZeroVariance) {
 TEST(SpreadTest, ReproducibleForSameSeed) {
   Graph g = testutil::HubGraph();
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate a =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 500, .seed = 42});
-  const SpreadEstimate b =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 500, .seed = 42});
+  const SpreadEstimate a = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(500, 42));
+  const SpreadEstimate b = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(500, 42));
   EXPECT_DOUBLE_EQ(a.mean, b.mean);
   EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
 }
@@ -35,9 +36,8 @@ TEST(SpreadTest, ReproducibleForSameSeed) {
 TEST(SpreadTest, MeanBoundedBySeedsAndNodes) {
   Graph g = testutil::HubGraph();
   const std::vector<NodeId> seeds = {0, 3};
-  const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 300, .seed = 7});
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(300, 7));
   EXPECT_GE(est.mean, 2.0);
   EXPECT_LE(est.mean, 7.0);
 }
@@ -47,12 +47,10 @@ TEST(SpreadTest, MonotoneInSeedSet) {
   Graph g = testutil::TwoStars(0.6);
   const std::vector<NodeId> small = {0};
   const std::vector<NodeId> larger = {0, 4};
-  const SpreadEstimate s =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, small,
-                     {.simulations = 2000, .seed = 3});
-  const SpreadEstimate l =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, larger,
-                     {.simulations = 2000, .seed = 3});
+  const SpreadEstimate s = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, small, SpreadOpts(2000, 3));
+  const SpreadEstimate l = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, larger, SpreadOpts(2000, 3));
   EXPECT_GT(l.mean, s.mean);
 }
 
@@ -61,9 +59,8 @@ TEST(SpreadTest, HubSpreadMatchesClosedForm) {
   // E[Γ({0})] = 1 + 5·0.9 + 0.9·0.05 = 5.545.
   Graph g = testutil::HubGraph(0.9, 0.05);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 20000, .seed = 5});
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(20000, 5));
   EXPECT_NEAR(est.mean, 5.545, 0.05);
 }
 
@@ -72,21 +69,22 @@ TEST(SpreadTest, ScratchOverloadAgreesWithStreamOverload) {
   const std::vector<NodeId> seeds = {0};
   CascadeContext ctx(g.num_nodes());
   Rng rng(17);
+  SpreadOptions streaming;
+  streaming.simulations = 3000;
+  streaming.context = &ctx;
+  streaming.rng = &rng;
   const SpreadEstimate a =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 3000, .context = &ctx, .rng = &rng});
-  const SpreadEstimate b =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 3000, .seed = 17});
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds, streaming);
+  const SpreadEstimate b = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(3000, 17));
   EXPECT_NEAR(a.mean, b.mean, 0.2);  // same distribution, different streams
 }
 
 TEST(SpreadTest, ZeroSimulations) {
   Graph g = testutil::PathGraph(3, 1.0);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
-                     {.simulations = 0, .seed = 1});
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(0, 1));
   EXPECT_EQ(est.simulations, 0u);
   EXPECT_DOUBLE_EQ(est.mean, 0.0);
 }
@@ -95,11 +93,73 @@ TEST(SpreadTest, LtUniformSpreadWithinBounds) {
   Graph g = testutil::TwoStars(1.0);
   AssignLtUniform(g);
   const std::vector<NodeId> seeds = {0};
-  const SpreadEstimate est =
-      EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds,
-                     {.simulations = 1000, .seed = 9});
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kLinearThreshold, seeds, SpreadOpts(1000, 9));
   // Star children have in-degree 1, weight 1 => always activated.
   EXPECT_DOUBLE_EQ(est.mean, 4.0);
+}
+
+// Multi-threaded estimation through the same entry point. Tests inject
+// private ThreadPool instances so real worker threads run even on
+// single-core machines (where the shared pool has zero workers and
+// everything degrades to inline execution).
+
+TEST(ParallelSpreadTest, MatchesSequentialExactly) {
+  // Simulation i is pinned to stream i and samples aggregate in index
+  // order, so the estimate must be bit-identical for any thread count.
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignWeightedCascade(g);
+  const std::vector<NodeId> seeds = {1, 5, 9};
+  const SpreadEstimate sequential = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(500, 11));
+  for (const uint32_t threads : {2u, 3u, 8u}) {
+    ThreadPool pool(threads - 1);
+    const SpreadEstimate parallel =
+        EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                       SpreadOpts(500, 11, threads, &pool));
+    EXPECT_DOUBLE_EQ(parallel.mean, sequential.mean) << threads;
+    EXPECT_DOUBLE_EQ(parallel.stddev, sequential.stddev) << threads;
+  }
+}
+
+TEST(ParallelSpreadTest, LtModelSupported) {
+  Graph g = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignLtUniform(g);
+  const std::vector<NodeId> seeds = {0, 2};
+  const SpreadEstimate sequential = EstimateSpread(
+      g, DiffusionKind::kLinearThreshold, seeds, SpreadOpts(300, 5));
+  ThreadPool pool(1);
+  const SpreadEstimate parallel =
+      EstimateSpread(g, DiffusionKind::kLinearThreshold, seeds,
+                     SpreadOpts(300, 5, 2, &pool));
+  EXPECT_DOUBLE_EQ(parallel.mean, sequential.mean);
+}
+
+TEST(ParallelSpreadTest, ZeroSimulations) {
+  Graph g = testutil::PathGraph(3, 1.0);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(0, 1, 4));
+  EXPECT_EQ(est.simulations, 0u);
+}
+
+TEST(ParallelSpreadTest, MoreThreadsThanSimulations) {
+  Graph g = testutil::PathGraph(4, 1.0);
+  const std::vector<NodeId> seeds = {0};
+  ThreadPool pool(3);
+  const SpreadEstimate est =
+      EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds,
+                     SpreadOpts(3, 1, 64, &pool));
+  EXPECT_DOUBLE_EQ(est.mean, 4.0);
+}
+
+TEST(ParallelSpreadTest, DefaultThreadCount) {
+  // threads = 0 resolves to all hardware threads via the shared pool.
+  Graph g = testutil::HubGraph();
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate est = EstimateSpread(
+      g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(200, 3, 0));
+  EXPECT_GT(est.mean, 1.0);
 }
 
 }  // namespace

@@ -4,11 +4,26 @@
 
 #include <vector>
 
+#include "diffusion/spread.h"
 #include "graph/graph.h"
 #include "graph/weights.h"
 
 namespace imbench {
 namespace testutil {
+
+// Builds SpreadOptions with the shared run controls filled in. The seed /
+// threads / pool knobs live in the CommonRunOptions base, which designated
+// initializers cannot name, so tests use this instead of brace-init.
+inline SpreadOptions SpreadOpts(uint32_t simulations, uint64_t seed,
+                                uint32_t threads = 1,
+                                ThreadPool* pool = nullptr) {
+  SpreadOptions options;
+  options.simulations = simulations;
+  options.seed = seed;
+  options.threads = threads;
+  options.pool = pool;
+  return options;
+}
 
 // A 7-node "hub" graph: node 0 points at 1..5 (strongly), node 6 isolated
 // except for a weak edge 5 -> 6. Node 0 is unambiguously the best seed.

@@ -97,7 +97,10 @@ TEST(TraceTest, JsonGoldenDeterministicDocument) {
     "queue_reevaluations": 0,
     "snapshots": 0,
     "scoring_rounds": 0,
-    "guard_polls": 1
+    "guard_polls": 1,
+    "rr_sets_repaired": 0,
+    "rr_sets_reused": 0,
+    "corpus_epochs": 0
   },
   "phases": [
     {"name": "sample", "parent": -1, "depth": 0, "counters": {"rr_sets": 3, "rr_edges_examined": 17}},

@@ -5,6 +5,14 @@
 //
 //   ./im_run --algorithm=IMM --dataset=youtube --model=WC --k=50
 //   ./im_run --algorithm=LDAG --graph=soc-Epinions1.txt --model=LT --k=100
+//
+// With --serve the binary becomes the always-on query engine instead: it
+// opens the graph in an EpochGraphStore, stands up an ImService and
+// replays a --workload file of queries and mutations against the warm RR
+// corpus (see src/service/workload.h for the format), printing one JSON
+// line per op:
+//
+//   ./im_run --serve --workload=ops.txt --dataset=nethept --model=WC
 
 #include <cstdio>
 #include <memory>
@@ -19,6 +27,9 @@
 #include "framework/trace.h"
 #include "graph/edge_list.h"
 #include "graph/weights.h"
+#include "service/epoch_graph_store.h"
+#include "service/im_service.h"
+#include "service/workload.h"
 
 using namespace imbench;
 
@@ -72,6 +83,14 @@ int main(int argc, char** argv) {
       "write the per-phase trace (spans + counters) as JSON to this file");
   bool* trace_table = flags.AddBool(
       "trace", false, "print the per-phase trace as a human-readable table");
+  bool* serve = flags.AddBool(
+      "serve", false,
+      "run as an always-on query service replaying --workload against a "
+      "warm RR corpus instead of one-shot selection");
+  std::string* workload_path = flags.AddString(
+      "workload", "", "query+mutation workload file for --serve");
+  double* eps = flags.AddDouble(
+      "eps", 0.5, "service default sampling accuracy for --serve queries");
   bool* list = flags.AddBool("list", false, "list algorithms and exit");
   flags.Parse(argc, argv);
 
@@ -114,6 +133,48 @@ int main(int argc, char** argv) {
     }
     Rng wrng(static_cast<uint64_t>(*seed) ^ 0x8e1);
     AssignWeights(graph, model, *ic_p, wrng);
+  }
+
+  if (*serve) {
+    if (workload_path->empty()) {
+      std::fprintf(stderr, "--serve requires --workload=FILE\n");
+      return 2;
+    }
+    std::vector<WorkloadOp> ops;
+    std::string error;
+    if (!ParseWorkloadFile(*workload_path, &ops, &error)) {
+      std::fprintf(stderr, "bad workload %s: %s\n", workload_path->c_str(),
+                   error.c_str());
+      return 1;
+    }
+    EpochGraphStore store(std::move(graph));
+    ServiceOptions service_options;
+    service_options.kind = kind;
+    service_options.epsilon = *eps;
+    service_options.seed = static_cast<uint64_t>(*seed);
+    service_options.threads = static_cast<uint32_t>(*threads);
+    service_options.trace = tr;
+    ImService service(store, service_options);
+
+    Timer timer;
+    std::string log;
+    const ReplayResult replay = ReplayWorkload(store, service, ops, &log);
+    std::fputs(log.c_str(), stdout);
+    std::printf(
+        "served %zu queries, %llu mutations, final epoch %llu, warm corpus "
+        "%zu sets (%.2f MB), %.3fs\n",
+        replay.queries.size(),
+        static_cast<unsigned long long>(replay.mutations),
+        static_cast<unsigned long long>(replay.final_epoch),
+        service.corpus().size(), service.corpus().MemoryBytes() / 1e6,
+        timer.Seconds());
+    if (*trace_table) trace.PrintTable(stdout);
+    if (!trace_out->empty() && !trace.WriteJsonFile(*trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out->c_str());
+      return 1;
+    }
+    return 0;
   }
 
   const AlgorithmSpec* spec = FindAlgorithm(*algorithm);
