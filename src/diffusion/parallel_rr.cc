@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "framework/fault.h"
 #include "framework/trace.h"
 
 namespace imbench {
@@ -74,6 +75,16 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
               stop_state.Trip(ls.guard.reason());
               return;
             }
+            // Fault site: this lane dies before drawing its next set. The
+            // wave drains through the shared abort flag and the merge
+            // keeps the deterministic prefix; Propagate() withholds
+            // transient reasons from the parent guard so a retry can
+            // resume from the same stream index.
+            StopReason injected = StopReason::kNone;
+            if (FaultFire(faultsite::kSamplerLane, &injected)) {
+              stop_state.Trip(injected);
+              return;
+            }
             const size_t base = batch.members.size();
             const uint64_t width =
                 ls.sampler.GenerateStreamInto(seed, first + j, batch.members);
@@ -101,6 +112,22 @@ RrBatchResult ParallelRrSampler::Generate(uint64_t seed, uint64_t count,
     // lands as one block splice (bulk arena copy + size-many offsets).
     for (uint64_t b = 0; b < num_batches; ++b) {
       Batch& batch = batches_[b];
+      // Fault site: the arena append of this merged batch fails (simulated
+      // OOM). The merge is single-threaded, so the failing batch index is
+      // deterministic; nothing from it is appended and the stream cursor
+      // stays put, so a retry resumes at exactly the dropped batch.
+      StopReason injected = StopReason::kNone;
+      if (batch.sizes.empty() && !batch.complete) {
+        // Nothing to append; fall through to the incomplete-batch check.
+      } else if (FaultFire(faultsite::kRrArenaGrow, &injected)) {
+        result.stop = injected;
+        if (!IsTransientStop(injected) && options_.guard != nullptr) {
+          options_.guard->Trip(injected);
+        }
+        TraceAdd(options_.trace, TraceCounter::kRrEdgesExamined,
+                 edges_examined);
+        return result;
+      }
       // Entry cap: the sampler's own safety valve. Resolved here in the
       // single-threaded merge, so the crossing set index is deterministic
       // regardless of thread count. The crossing set is kept (matching the

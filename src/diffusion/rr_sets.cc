@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "diffusion/parallel_rr.h"
+#include "framework/fault.h"
 #include "framework/run_guard.h"
 #include "framework/trace.h"
 
@@ -84,6 +85,19 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
     if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) break;
     if (GuardShouldStop(guard_)) {
       result.stop = guard_->reason();
+      break;
+    }
+    // Fault site: the next arena append fails (simulated OOM). Checked
+    // before the set is drawn, so the stream cursor stays on the failed
+    // index and a retry regenerates exactly the missing tail. A transient
+    // fault stops this batch without tripping the caller's guard; a fatal
+    // reason simulates a budget trip through the normal sticky path.
+    StopReason injected = StopReason::kNone;
+    if (FaultFire(faultsite::kRrArenaGrow, &injected)) {
+      result.stop = injected;
+      if (!IsTransientStop(injected) && guard_ != nullptr) {
+        guard_->Trip(injected);
+      }
       break;
     }
     const uint64_t width = GenerateStream(seed, next_index_++, scratch);
@@ -183,6 +197,25 @@ std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
 
 RrCollection::RrCollection(NodeId num_nodes) : num_nodes_(num_nodes) {
   set_offsets_.push_back(0);
+}
+
+bool RrCollection::FromArenas(NodeId num_nodes, std::vector<NodeId> members,
+                              std::vector<uint64_t> offsets,
+                              RrCollection* out) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != members.size()) {
+    return false;
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  for (const NodeId v : members) {
+    if (v >= num_nodes) return false;
+  }
+  *out = RrCollection(num_nodes);
+  out->members_ = std::move(members);
+  out->set_offsets_ = std::move(offsets);
+  return true;
 }
 
 void RrCollection::AppendSet(std::span<const NodeId> set) {

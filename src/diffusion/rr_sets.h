@@ -233,6 +233,21 @@ class RrCollection {
   // that must be repaired. Builds the inverted index on first use.
   std::vector<uint32_t> SetsContainingAny(std::span<const NodeId> nodes) const;
 
+  // Raw arena views for checkpoint serialization (service/checkpoint.h):
+  // the two forward arrays ARE the corpus, so a checkpoint is two block
+  // writes plus a header.
+  std::span<const NodeId> MembersArena() const { return members_; }
+  std::span<const uint64_t> OffsetsArena() const { return set_offsets_; }
+
+  // Rebuilds a collection from serialized arenas (checkpoint recovery).
+  // Validates the CSR shape — offsets start at 0, ascend, end at
+  // members.size(), and every member id is < num_nodes — and returns false
+  // on malformed input without touching *out: a torn or tampered file must
+  // fall back to a cold build, never produce a corpus that serves wrong
+  // seeds.
+  static bool FromArenas(NodeId num_nodes, std::vector<NodeId> members,
+                         std::vector<uint64_t> offsets, RrCollection* out);
+
   size_t size() const {
     // Empty-guard keeps a moved-from collection at size 0 instead of
     // underflowing (the constructor always seeds one offset).

@@ -157,6 +157,11 @@ CellResult Workbench::RunCell(ImAlgorithm& algorithm,
     case StopReason::kCancelled:
       result.status = CellResult::Status::kCancelled;
       break;
+    case StopReason::kFault:
+      // An unretried injected fault surfaces like a DNF: the cell did not
+      // finish its workload (chaos runs only; never fires disarmed).
+      result.status = CellResult::Status::kDnf;
+      break;
   }
   // Spread computation phase (Sec. 5.1): decoupled MC evaluation so every
   // technique is compared from the same standpoint. Still evaluated for

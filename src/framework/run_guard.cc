@@ -16,6 +16,8 @@ const char* StopReasonName(StopReason reason) {
       return "memory";
     case StopReason::kCancelled:
       return "cancelled";
+    case StopReason::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -63,11 +65,23 @@ extern "C" void SigintCancelHandler(int) {
   std::signal(SIGINT, SIG_DFL);
 }
 
+extern "C" void ServeDrainHandler(int sig) {
+  // Same drain flag as SIGINT, but both shutdown signals restore their
+  // default disposition so a repeated signal kills the process.
+  g_sigint_cancel.store(true, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
+
 }  // namespace
 
 const std::atomic<bool>* SigintCancelFlag() { return &g_sigint_cancel; }
 
 void InstallSigintCancel() { std::signal(SIGINT, SigintCancelHandler); }
+
+void InstallServeSignalHandlers() {
+  std::signal(SIGINT, ServeDrainHandler);
+  std::signal(SIGTERM, ServeDrainHandler);
+}
 
 void SetSigintCancelForTest(bool value) {
   g_sigint_cancel.store(value, std::memory_order_relaxed);

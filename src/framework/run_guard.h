@@ -30,9 +30,18 @@ enum class StopReason : uint8_t {
   kDeadline,    // wall-clock budget exhausted (paper: "DNF")
   kMemory,      // heap / RR-entry budget exhausted (paper: "Crashed")
   kCancelled,   // external cancel flag raised (Ctrl-C)
+  kFault,       // injected transient fault (framework/fault.h); retryable
 };
 
 const char* StopReasonName(StopReason reason);
+
+// The retry/degradation policy's fault taxonomy: transient stops are
+// worth retrying (the failure was a blip, not an exhausted budget), fatal
+// stops drain the run — retrying a tripped deadline or heap cap would
+// just trip it again, and a cancel means the user is waiting.
+inline bool IsTransientStop(StopReason reason) {
+  return reason == StopReason::kFault;
+}
 
 // Limits for one guarded run. Defaults are all "unlimited".
 struct RunBudget {
@@ -123,10 +132,14 @@ class ParallelGuardState {
   }
 
   // Forwards the published reason (if any) to the parent guard; call after
-  // the lanes have joined.
+  // the lanes have joined. Transient injected faults are NOT forwarded: a
+  // RunGuard trip is sticky, and the caller may retry the wave — the
+  // engine reports the fault through its RrBatchResult instead.
   void Propagate() {
     const StopReason r = reason();
-    if (parent_ != nullptr && r != StopReason::kNone) parent_->Trip(r);
+    if (parent_ != nullptr && r != StopReason::kNone && !IsTransientStop(r)) {
+      parent_->Trip(r);
+    }
   }
 
  private:
@@ -153,6 +166,11 @@ inline StopReason GuardReason(const RunGuard* guard) {
 // default disposition (second Ctrl-C: die immediately). Idempotent.
 const std::atomic<bool>* SigintCancelFlag();
 void InstallSigintCancel();
+// Serve-mode variant: raises the same flag on SIGINT *and* SIGTERM, so a
+// service shutdown (systemd stop, container kill, Ctrl-C) drains the
+// in-flight op, flushes the replay summary, and exits 0 instead of dying
+// mid-query. A second signal of either kind kills the process.
+void InstallServeSignalHandlers();
 // Test hook: raise / clear the flag without delivering a signal.
 void SetSigintCancelForTest(bool value);
 

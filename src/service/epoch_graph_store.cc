@@ -4,21 +4,47 @@
 #include <utility>
 
 #include "common/check.h"
+#include "framework/fault.h"
 
 namespace imbench {
 
 EpochGraphStore::EpochGraphStore(Graph graph)
     : current_(std::make_shared<const Graph>(std::move(graph))) {}
 
-uint64_t EpochGraphStore::Publish(Graph next, std::vector<NodeId> touched) {
+bool EpochGraphStore::Publish(Graph next, std::vector<NodeId> touched,
+                              uint64_t* new_epoch) {
+  // Fault site: the rebuilt successor graph fails to publish. Checked at
+  // the commit point so a firing mutation is all-or-nothing: the built
+  // graph is dropped, the epoch and touched log are untouched, and a
+  // retried mutation rebuilds from the same old snapshot.
+  if (FaultFire(faultsite::kEpochRebuild)) return false;
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   touched_log_.push_back(std::move(touched));
   current_ = std::make_shared<const Graph>(std::move(next));
-  return ++epoch_;
+  ++epoch_;
+  if (new_epoch != nullptr) *new_epoch = epoch_;
+  return true;
 }
 
 uint64_t EpochGraphStore::AddEdges(std::span<const WeightedArc> arcs) {
+  uint64_t epoch = 0;
+  IMBENCH_CHECK_MSG(TryAddEdges(arcs, &epoch),
+                    "AddEdges: epoch rebuild failed (injected fault; use "
+                    "TryAddEdges under a chaos plan)");
+  return epoch;
+}
+
+uint64_t EpochGraphStore::UpdateWeights(std::span<const WeightedArc> arcs) {
+  uint64_t epoch = 0;
+  IMBENCH_CHECK_MSG(TryUpdateWeights(arcs, &epoch),
+                    "UpdateWeights: epoch rebuild failed (injected fault; "
+                    "use TryUpdateWeights under a chaos plan)");
+  return epoch;
+}
+
+bool EpochGraphStore::TryAddEdges(std::span<const WeightedArc> arcs,
+                                  uint64_t* new_epoch) {
   const Graph& old = *current_;
   const NodeId n = old.num_nodes();
   for (const WeightedArc& a : arcs) {
@@ -93,10 +119,11 @@ uint64_t EpochGraphStore::AddEdges(std::span<const WeightedArc> arcs) {
   }
   Graph next = Graph::FromArcs(n, std::move(shape));
   next.SetWeights(weights);
-  return Publish(std::move(next), std::move(touched));
+  return Publish(std::move(next), std::move(touched), new_epoch);
 }
 
-uint64_t EpochGraphStore::UpdateWeights(std::span<const WeightedArc> arcs) {
+bool EpochGraphStore::TryUpdateWeights(std::span<const WeightedArc> arcs,
+                                       uint64_t* new_epoch) {
   const Graph& old = *current_;
   Graph next = old.Clone();
   std::vector<double> weights(old.weights().begin(), old.weights().end());
@@ -110,7 +137,7 @@ uint64_t EpochGraphStore::UpdateWeights(std::span<const WeightedArc> arcs) {
     touched.push_back(a.target);
   }
   next.SetWeights(weights);
-  return Publish(std::move(next), std::move(touched));
+  return Publish(std::move(next), std::move(touched), new_epoch);
 }
 
 std::vector<NodeId> EpochGraphStore::TouchedSince(uint64_t since_epoch) const {

@@ -64,6 +64,17 @@ class EpochGraphStore {
   // present. Returns the new epoch.
   uint64_t UpdateWeights(std::span<const WeightedArc> arcs);
 
+  // Fault-tolerant variants: a mutation whose graph rebuild fails (the
+  // `epoch_rebuild` fault site) returns false and leaves the store exactly
+  // on its old epoch — publish is all-or-nothing, so readers never see a
+  // half-built successor. On success *new_epoch (when non-null) receives
+  // the new epoch. ReplayWorkload retries these with backoff; the plain
+  // AddEdges/UpdateWeights CHECK-fail on a publish fault.
+  bool TryAddEdges(std::span<const WeightedArc> arcs,
+                   uint64_t* new_epoch = nullptr);
+  bool TryUpdateWeights(std::span<const WeightedArc> arcs,
+                        uint64_t* new_epoch = nullptr);
+
   // Nodes whose in-edges changed by any transition after `since_epoch`,
   // sorted ascending and deduplicated. since_epoch must be <= epoch();
   // TouchedSince(epoch()) is empty.
@@ -71,8 +82,9 @@ class EpochGraphStore {
 
  private:
   // Publishes `next` as the new current graph, recording `touched` (the
-  // targets whose in-edges changed) for the transition.
-  uint64_t Publish(Graph next, std::vector<NodeId> touched);
+  // targets whose in-edges changed) for the transition. Returns false —
+  // with the store untouched — when the epoch_rebuild fault site fires.
+  bool Publish(Graph next, std::vector<NodeId> touched, uint64_t* new_epoch);
 
   std::shared_ptr<const Graph> current_;
   uint64_t epoch_ = 0;

@@ -1,9 +1,12 @@
 #include "service/im_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/check.h"
+#include "framework/fault.h"
 #include "framework/trace.h"
 
 namespace imbench {
@@ -17,6 +20,18 @@ double LogChoose(double n, double k) {
 }
 
 }  // namespace
+
+const char* DegradeModeName(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kNone:
+      return "none";
+    case DegradeMode::kColdRebuild:
+      return "cold_rebuild";
+    case DegradeMode::kPerQuerySampler:
+      return "per_query_sampler";
+  }
+  return "?";
+}
 
 ImService::ImService(EpochGraphStore& store, const ServiceOptions& options)
     : store_(store),
@@ -38,30 +53,48 @@ uint64_t ImService::RequiredSets(NodeId num_nodes, uint32_t k,
   return std::max<uint64_t>(1, static_cast<uint64_t>(theta));
 }
 
-bool ImService::RepairCorpus(const EpochGraphStore::Snapshot& snap,
-                             RunGuard* guard, ImQueryResult* result) {
+void ImService::Backoff(uint32_t attempt) const {
+  if (options_.retry_backoff_seconds <= 0) return;
+  const double seconds =
+      options_.retry_backoff_seconds * std::exp2(static_cast<double>(
+                                           attempt > 0 ? attempt - 1 : 0));
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+ImService::RepairOutcome ImService::TryRepair(
+    const EpochGraphStore::Snapshot& snap, RunGuard* guard,
+    ImQueryResult* result) {
   const std::vector<NodeId> touched = store_.TouchedSince(corpus_epoch_);
-  TraceAdd(options_.trace, TraceCounter::kCorpusEpochs);
-  if (touched.empty() || corpus_.size() == 0) return true;
+  if (touched.empty() || corpus_.size() == 0) return RepairOutcome::kOk;
   const std::vector<uint32_t> invalid = corpus_.SetsContainingAny(touched);
-  if (invalid.empty()) return true;
+  if (invalid.empty()) return RepairOutcome::kOk;
 
   // Regenerate each invalidated stream on the new snapshot. Per-set
   // streams make this exact: set i regenerated here is the set a cold
   // engine would produce at index i on this graph. Repair is sequential —
-  // the damage is proportional to the mutation, not the corpus.
+  // the damage is proportional to the mutation, not the corpus. The splice
+  // happens only after every set regenerated cleanly, so any early return
+  // leaves the corpus bit-identical to before this attempt.
   RrSampler sampler(*snap.graph, options_.kind, guard);
   std::vector<NodeId> members;
   std::vector<uint32_t> sizes;
   sizes.reserve(invalid.size());
   std::vector<NodeId> scratch;
   for (const uint32_t id : invalid) {
+    // Fault site: the repair path dies before regenerating this set.
+    // Transient reasons leave the guard alone so the retry starts clean;
+    // fatal reasons simulate a budget trip and take the discard path.
+    StopReason injected = StopReason::kNone;
+    if (FaultFire(faultsite::kServiceRepair, &injected)) {
+      if (IsTransientStop(injected)) return RepairOutcome::kTransient;
+      if (guard != nullptr) guard->Trip(injected);
+      return RepairOutcome::kFatal;
+    }
     sampler.GenerateStream(options_.seed, id, scratch);
     if (guard != nullptr && guard->stopped()) {
       // The in-flight set may be truncated and a partial splice would be
-      // silently wrong; drop the warm corpus and let the query go cold.
-      corpus_ = RrCollection(snap.graph->num_nodes());
-      return false;
+      // silently wrong.
+      return RepairOutcome::kFatal;
     }
     members.insert(members.end(), scratch.begin(), scratch.end());
     sizes.push_back(static_cast<uint32_t>(scratch.size()));
@@ -69,7 +102,74 @@ bool ImService::RepairCorpus(const EpochGraphStore::Snapshot& snap,
   corpus_.ReplaceSets(invalid, members, sizes);
   result->sets_repaired = invalid.size();
   TraceAdd(options_.trace, TraceCounter::kRrSetsRepaired, invalid.size());
-  return true;
+  return RepairOutcome::kOk;
+}
+
+void ImService::MigrateCorpus(const EpochGraphStore::Snapshot& snap,
+                              RunGuard* guard, ImQueryResult* result) {
+  uint32_t attempt = 0;
+  for (;;) {
+    const RepairOutcome outcome = TryRepair(snap, guard, result);
+    if (outcome == RepairOutcome::kOk) return;
+    if (outcome == RepairOutcome::kTransient &&
+        attempt < options_.max_transient_retries) {
+      ++attempt;
+      ++result->retries;
+      Backoff(attempt);
+      continue;
+    }
+    // Fatal, or transient retries exhausted: the warm corpus cannot be
+    // brought to this epoch. Discard it — the query rebuilds cold, which
+    // regenerates the same per-index streams and therefore the same seeds.
+    corpus_ = RrCollection(snap.graph->num_nodes());
+    result->sets_repaired = 0;
+    result->degraded = DegradeMode::kColdRebuild;
+    return;
+  }
+}
+
+void ImService::TopUp(const EpochGraphStore::Snapshot& snap,
+                      uint64_t required, RunGuard* guard,
+                      ImQueryResult* result) {
+  SamplerOptions sampler_options;
+  static_cast<CommonRunOptions&>(sampler_options) = options_;
+  sampler_options.guard = guard;
+  sampler_options.kind = options_.kind;
+  sampler_options.max_total_entries = options_.max_total_entries;
+  std::unique_ptr<RrEngine> engine =
+      MakeRrEngine(*snap.graph, sampler_options);
+  uint32_t attempt = 0;
+  while (corpus_.size() < required) {
+    engine->SeekStream(corpus_.size());
+    const RrBatchResult batch =
+        engine->Generate(options_.seed, required - corpus_.size(), corpus_);
+    result->sets_sampled += batch.generated;
+    TraceAdd(options_.trace, TraceCounter::kRrSets, batch.generated);
+    if (batch.stop == StopReason::kNone) return;
+    if (!IsTransientStop(batch.stop)) {
+      // Budget trip: serve best-effort seeds from the partial prefix.
+      result->stop_reason = batch.stop;
+      return;
+    }
+    if (attempt < options_.max_transient_retries) {
+      ++attempt;
+      ++result->retries;
+      Backoff(attempt);
+      continue;
+    }
+    // The batched engine keeps faulting; degrade to the plain sequential
+    // sampler for the remaining tail. Same streams, same seeds — only the
+    // throughput is worse.
+    result->degraded = DegradeMode::kPerQuerySampler;
+    RrSampler fallback(*snap.graph, options_.kind, guard);
+    fallback.SeekStream(corpus_.size());
+    const RrBatchResult tail = fallback.Generate(
+        options_.seed, required - corpus_.size(), corpus_);
+    result->sets_sampled += tail.generated;
+    TraceAdd(options_.trace, TraceCounter::kRrSets, tail.generated);
+    result->stop_reason = tail.stop;
+    return;
+  }
 }
 
 ImQueryResult ImService::Query(const ImQuery& query) {
@@ -80,9 +180,12 @@ ImQueryResult ImService::Query(const ImQuery& query) {
   result.epoch = snap.epoch;
 
   if (corpus_epoch_ != snap.epoch) {
-    RepairCorpus(snap, &guard, &result);
+    MigrateCorpus(snap, &guard, &result);
     corpus_graph_ = snap.graph;
     corpus_epoch_ = snap.epoch;
+    // One bump per epoch migration regardless of how many repair attempts
+    // it took (the counter means "corpus moved forward", not "tried to").
+    TraceAdd(options_.trace, TraceCounter::kCorpusEpochs);
   }
 
   const double epsilon =
@@ -92,19 +195,7 @@ ImQueryResult ImService::Query(const ImQuery& query) {
   const uint64_t warm = corpus_.size();
 
   if (required > warm) {
-    SamplerOptions sampler_options;
-    static_cast<CommonRunOptions&>(sampler_options) = options_;
-    sampler_options.guard = &guard;
-    sampler_options.kind = options_.kind;
-    sampler_options.max_total_entries = options_.max_total_entries;
-    std::unique_ptr<RrEngine> engine =
-        MakeRrEngine(*snap.graph, sampler_options);
-    engine->SeekStream(warm);
-    const RrBatchResult batch =
-        engine->Generate(options_.seed, required - warm, corpus_);
-    result.sets_sampled = batch.generated;
-    result.stop_reason = batch.stop;
-    TraceAdd(options_.trace, TraceCounter::kRrSets, batch.generated);
+    TopUp(snap, required, &guard, &result);
   } else if (guard.ShouldStop()) {
     result.stop_reason = guard.reason();
   }
@@ -125,6 +216,39 @@ ImQueryResult ImService::Query(const ImQuery& query) {
   result.seeds = corpus_.GreedyMaxCoverPrefix(query.k, limit,
                                               &result.covered_fraction);
   return result;
+}
+
+CheckpointStatus ImService::LoadCheckpoint(const std::string& path,
+                                           std::string* detail) {
+  const EpochGraphStore::Snapshot snap = store_.Current();
+  CheckpointMeta expected;
+  expected.kind = options_.kind;
+  expected.seed = options_.seed;
+  expected.num_nodes = snap.graph->num_nodes();
+  expected.graph_fingerprint = GraphFingerprint(*snap.graph);
+  RrCollection loaded(expected.num_nodes);
+  const CheckpointStatus status =
+      LoadCorpusCheckpoint(path, expected, &loaded, nullptr, detail);
+  if (status == CheckpointStatus::kOk) {
+    corpus_ = std::move(loaded);
+    corpus_graph_ = snap.graph;
+    corpus_epoch_ = snap.epoch;
+    if (detail != nullptr) {
+      *detail = "recovered " + std::to_string(corpus_.size()) + " warm sets";
+    }
+  }
+  return status;
+}
+
+bool ImService::SaveCheckpoint(const std::string& path, std::string* detail) {
+  CheckpointMeta meta;
+  meta.kind = options_.kind;
+  meta.seed = options_.seed;
+  meta.epsilon = options_.epsilon;
+  meta.epoch = corpus_epoch_;
+  meta.num_nodes = corpus_graph_->num_nodes();
+  meta.graph_fingerprint = GraphFingerprint(*corpus_graph_);
+  return SaveCorpusCheckpoint(path, meta, corpus_, detail);
 }
 
 QueryContext ImService::MakeContext() {

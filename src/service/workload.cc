@@ -1,22 +1,19 @@
 #include "service/workload.h"
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "framework/fault.h"
 #include "framework/run_guard.h"
 
 namespace imbench {
 
 namespace {
-
-bool Fail(std::string* error, int line, const std::string& message) {
-  if (error != nullptr) {
-    *error = "line " + std::to_string(line) + ": " + message;
-  }
-  return false;
-}
 
 // Parses "source,target,weight".
 bool ParseArc(const std::string& token, WeightedArc* arc) {
@@ -42,6 +39,39 @@ std::string SplitKeyValue(const std::string& token, std::string* value) {
   return token.substr(0, eq);
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 void AppendJsonQuery(std::string* log, const ImQueryResult& r) {
   std::ostringstream out;
   out << "{\"op\":\"query\",\"epoch\":" << r.epoch << ",\"seeds\":[";
@@ -53,9 +83,90 @@ void AppendJsonQuery(std::string* log, const ImQueryResult& r) {
       << ",\"sets_sampled\":" << r.sets_sampled
       << ",\"sets_reused\":" << r.sets_reused
       << ",\"sets_repaired\":" << r.sets_repaired
-      << ",\"covered_fraction\":" << r.covered_fraction << ",\"stop\":\""
+      << ",\"retries\":" << r.retries << ",\"degraded\":\""
+      << DegradeModeName(r.degraded)
+      << "\",\"covered_fraction\":" << r.covered_fraction << ",\"stop\":\""
       << StopReasonName(r.stop_reason) << "\"}\n";
   *log += out.str();
+}
+
+void AppendJsonError(std::string* log, int line, const std::string& error,
+                     const std::string& text) {
+  if (log == nullptr) return;
+  std::ostringstream out;
+  out << "{\"op\":\"error\",\"line\":" << line << ",\"error\":\""
+      << JsonEscape(error) << "\",\"text\":\"" << JsonEscape(text) << "\"}\n";
+  *log += out.str();
+}
+
+// Parses one line into *op. Returns false with *message set when the line
+// is malformed; a blank / comment-only line succeeds with *blank set.
+bool ParseLine(const std::string& raw, WorkloadOp* op, bool* blank,
+               std::string* message) {
+  *blank = false;
+  std::string line = raw;
+  const size_t hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  std::istringstream tokens(line);
+  std::string op_name;
+  if (!(tokens >> op_name)) {
+    *blank = true;
+    return true;
+  }
+
+  if (op_name == "query") {
+    op->kind = WorkloadOp::Kind::kQuery;
+    bool have_k = false;
+    std::string token;
+    while (tokens >> token) {
+      std::string value;
+      const std::string key = SplitKeyValue(token, &value);
+      char* end = nullptr;
+      const double number = std::strtod(value.c_str(), &end);
+      if (key.empty() || end == value.c_str() || *end != '\0') {
+        *message = "bad query option '" + token + "'";
+        return false;
+      }
+      if (key == "k") {
+        op->query.k = static_cast<uint32_t>(number);
+        have_k = op->query.k > 0;
+      } else if (key == "eps") {
+        op->query.epsilon = number;
+      } else if (key == "deadline") {
+        op->query.budget.deadline_seconds = number;
+      } else if (key == "mem") {
+        op->query.budget.max_heap_bytes =
+            static_cast<uint64_t>(number * 1024.0 * 1024.0);
+      } else {
+        *message = "unknown query option '" + key + "'";
+        return false;
+      }
+    }
+    if (!have_k) {
+      *message = "query requires k=<positive int>";
+      return false;
+    }
+  } else if (op_name == "add" || op_name == "update") {
+    op->kind = op_name == "add" ? WorkloadOp::Kind::kAddEdges
+                                : WorkloadOp::Kind::kUpdateWeights;
+    std::string token;
+    while (tokens >> token) {
+      WeightedArc arc;
+      if (!ParseArc(token, &arc)) {
+        *message = "bad arc '" + token + "' (want source,target,weight)";
+        return false;
+      }
+      op->arcs.push_back(arc);
+    }
+    if (op->arcs.empty()) {
+      *message = op_name + " requires at least one arc";
+      return false;
+    }
+  } else {
+    *message = "unknown op '" + op_name + "'";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -68,95 +179,133 @@ bool ParseWorkload(const std::string& text, std::vector<WorkloadOp>* ops,
   int line_number = 0;
   while (std::getline(lines, line)) {
     ++line_number;
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream tokens(line);
-    std::string op_name;
-    if (!(tokens >> op_name)) continue;  // blank / comment-only line
-
     WorkloadOp op;
-    if (op_name == "query") {
-      op.kind = WorkloadOp::Kind::kQuery;
-      bool have_k = false;
-      std::string token;
-      while (tokens >> token) {
-        std::string value;
-        const std::string key = SplitKeyValue(token, &value);
-        char* end = nullptr;
-        const double number = std::strtod(value.c_str(), &end);
-        if (key.empty() || end == value.c_str() || *end != '\0') {
-          return Fail(error, line_number, "bad query option '" + token + "'");
-        }
-        if (key == "k") {
-          op.query.k = static_cast<uint32_t>(number);
-          have_k = op.query.k > 0;
-        } else if (key == "eps") {
-          op.query.epsilon = number;
-        } else if (key == "deadline") {
-          op.query.budget.deadline_seconds = number;
-        } else if (key == "mem") {
-          op.query.budget.max_heap_bytes =
-              static_cast<uint64_t>(number * 1024.0 * 1024.0);
-        } else {
-          return Fail(error, line_number, "unknown query option '" + key + "'");
-        }
+    bool blank = false;
+    std::string message;
+    if (!ParseLine(line, &op, &blank, &message)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": " + message +
+                 " [" + line + "]";
       }
-      if (!have_k) {
-        return Fail(error, line_number, "query requires k=<positive int>");
-      }
-    } else if (op_name == "add" || op_name == "update") {
-      op.kind = op_name == "add" ? WorkloadOp::Kind::kAddEdges
-                                 : WorkloadOp::Kind::kUpdateWeights;
-      std::string token;
-      while (tokens >> token) {
-        WeightedArc arc;
-        if (!ParseArc(token, &arc)) {
-          return Fail(error, line_number,
-                      "bad arc '" + token + "' (want source,target,weight)");
-        }
-        op.arcs.push_back(arc);
-      }
-      if (op.arcs.empty()) {
-        return Fail(error, line_number, op_name + " requires at least one arc");
-      }
-    } else {
-      return Fail(error, line_number, "unknown op '" + op_name + "'");
+      return false;
     }
-    ops->push_back(std::move(op));
+    if (!blank) ops->push_back(std::move(op));
   }
   return true;
 }
 
-bool ParseWorkloadFile(const std::string& path, std::vector<WorkloadOp>* ops,
-                       std::string* error) {
+void ParseWorkloadLenient(const std::string& text,
+                          std::vector<WorkloadOp>* ops) {
+  ops->clear();
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    WorkloadOp op;
+    bool blank = false;
+    std::string message;
+    if (!ParseLine(line, &op, &blank, &message)) {
+      op = WorkloadOp();
+      op.kind = WorkloadOp::Kind::kMalformed;
+      op.error = std::move(message);
+      op.text = line;
+      op.line = line_number;
+      ops->push_back(std::move(op));
+      continue;
+    }
+    if (!blank) {
+      op.line = line_number;
+      ops->push_back(std::move(op));
+    }
+  }
+}
+
+bool ReadWorkloadFile(const std::string& path, std::string* text,
+                      std::string* error) {
+  // Fault site: the workload read fails (config volume not mounted yet, a
+  // torn copy). Callers treat it like any other IO failure and may retry.
+  if (FaultFire(faultsite::kWorkloadIo)) {
+    if (error != nullptr) *error = "injected workload read fault";
+    return false;
+  }
   std::ifstream in(path);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;
     return false;
   }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return ParseWorkload(text.str(), ops, error);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+bool ParseWorkloadFile(const std::string& path, std::vector<WorkloadOp>* ops,
+                       std::string* error) {
+  std::string text;
+  if (!ReadWorkloadFile(path, &text, error)) return false;
+  return ParseWorkload(text, ops, error);
 }
 
 ReplayResult ReplayWorkload(EpochGraphStore& store, ImService& service,
                             const std::vector<WorkloadOp>& ops,
-                            std::string* log) {
+                            std::string* log,
+                            const ReplayOptions& options) {
   ReplayResult result;
+  const auto backoff = [&options](uint32_t attempt) {
+    if (options.retry_backoff_seconds <= 0) return;
+    const double seconds =
+        options.retry_backoff_seconds *
+        std::exp2(static_cast<double>(attempt > 0 ? attempt - 1 : 0));
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  };
+  bool halted = false;
   for (const WorkloadOp& op : ops) {
+    if (halted) break;
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      // Drain: no further ops start once the flag flips.
+      result.interrupted = true;
+      break;
+    }
     switch (op.kind) {
       case WorkloadOp::Kind::kQuery: {
-        ImQueryResult r = service.Query(op.query);
+        ImQuery query = op.query;
+        // Wire the drain flag into the query budget so a signal arriving
+        // mid-query cancels it gracefully (best-effort seeds) instead of
+        // waiting for it to finish.
+        if (options.stop != nullptr && query.budget.cancel == nullptr) {
+          query.budget.cancel = options.stop;
+        }
+        ImQueryResult r = service.Query(query);
+        result.retries += r.retries;
+        if (r.degraded != DegradeMode::kNone) ++result.degraded;
         if (log != nullptr) AppendJsonQuery(log, r);
         result.queries.push_back(std::move(r));
         break;
       }
       case WorkloadOp::Kind::kAddEdges:
       case WorkloadOp::Kind::kUpdateWeights: {
-        const uint64_t epoch =
-            op.kind == WorkloadOp::Kind::kAddEdges
-                ? store.AddEdges(op.arcs)
-                : store.UpdateWeights(op.arcs);
+        uint64_t epoch = 0;
+        bool ok = false;
+        for (uint32_t attempt = 0;; ++attempt) {
+          ok = op.kind == WorkloadOp::Kind::kAddEdges
+                   ? store.TryAddEdges(op.arcs, &epoch)
+                   : store.TryUpdateWeights(op.arcs, &epoch);
+          if (ok || attempt >= options.mutation_retries) break;
+          ++result.retries;
+          backoff(attempt + 1);
+        }
+        if (!ok) {
+          ++result.errors;
+          AppendJsonError(log, op.line,
+                          "mutation failed: epoch rebuild fault persisted "
+                          "through retries",
+                          op.kind == WorkloadOp::Kind::kAddEdges ? "add"
+                                                                 : "update");
+          if (!options.keep_going) halted = true;
+          break;
+        }
         ++result.mutations;
         if (log != nullptr) {
           *log += "{\"op\":\"";
@@ -164,6 +313,12 @@ ReplayResult ReplayWorkload(EpochGraphStore& store, ImService& service,
           *log += "\",\"arcs\":" + std::to_string(op.arcs.size()) +
                   ",\"epoch\":" + std::to_string(epoch) + "}\n";
         }
+        break;
+      }
+      case WorkloadOp::Kind::kMalformed: {
+        ++result.errors;
+        AppendJsonError(log, op.line, op.error, op.text);
+        if (!options.keep_going) halted = true;
         break;
       }
     }

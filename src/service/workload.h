@@ -15,6 +15,7 @@
 #ifndef IMBENCH_SERVICE_WORKLOAD_H_
 #define IMBENCH_SERVICE_WORKLOAD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,26 +26,69 @@
 namespace imbench {
 
 struct WorkloadOp {
-  enum class Kind { kQuery, kAddEdges, kUpdateWeights };
+  enum class Kind { kQuery, kAddEdges, kUpdateWeights, kMalformed };
   Kind kind = Kind::kQuery;
   ImQuery query;                  // kQuery
   std::vector<WeightedArc> arcs;  // kAddEdges / kUpdateWeights
+  // kMalformed (lenient parse only): what was wrong and where, so replay
+  // can report the line instead of refusing the whole file.
+  std::string error;
+  std::string text;  // the offending line, verbatim
+  int line = 0;      // 1-based
 };
 
 // Parses workload text. On a malformed line, returns false and describes
-// the problem in *error (1-based line number included).
+// the problem in *error — 1-based line number and the offending line text
+// included ("line 3: unknown op 'quary' [quary k=5]").
 bool ParseWorkload(const std::string& text, std::vector<WorkloadOp>* ops,
                    std::string* error);
+
+// Lenient variant for `--keep-going` replays: never fails. Malformed
+// lines become kMalformed ops (carrying the error, line number, and line
+// text) interleaved in order with the well-formed ones, so replay can emit
+// one error record per bad line and keep serving the rest.
+void ParseWorkloadLenient(const std::string& text,
+                          std::vector<WorkloadOp>* ops);
+
+// Reads a workload file into *text. The read is a fault site
+// (`workload_io`): an injected fault fails the call with "injected
+// workload read fault" so callers can rehearse their retry-the-config
+// path.
+bool ReadWorkloadFile(const std::string& path, std::string* text,
+                      std::string* error);
 
 // Reads and parses a workload file; false on I/O or parse error.
 bool ParseWorkloadFile(const std::string& path, std::vector<WorkloadOp>* ops,
                        std::string* error);
+
+// Replay policy knobs (all default to the strict, non-stop behavior).
+struct ReplayOptions {
+  // Drain flag: checked before each op, and wired into each query's budget
+  // as its cancel flag. When it flips mid-replay the in-flight query
+  // drains gracefully (best-effort seeds, stop="cancelled"), no further
+  // ops start, and ReplayResult::interrupted is set. `im_run --serve`
+  // points this at its SIGINT/SIGTERM flag.
+  const std::atomic<bool>* stop = nullptr;
+  // Keep replaying after a malformed line or a persistently failing
+  // mutation (each emits an {"op":"error",...} record). Default: stop at
+  // the first such op.
+  bool keep_going = false;
+  // Mutations whose epoch rebuild fails transiently (the epoch_rebuild
+  // fault site) are retried this many times with exponential backoff
+  // before being reported as errors.
+  uint32_t mutation_retries = 3;
+  double retry_backoff_seconds = 0;
+};
 
 // Outcome of replaying one workload against a store + service.
 struct ReplayResult {
   std::vector<ImQueryResult> queries;  // one per `query` op, in order
   uint64_t mutations = 0;              // epoch transitions applied
   uint64_t final_epoch = 0;
+  uint64_t retries = 0;    // transient retries (queries + mutations)
+  uint64_t degraded = 0;   // queries served in a degraded mode
+  uint64_t errors = 0;     // malformed lines + failed mutations
+  bool interrupted = false;  // drained early via ReplayOptions::stop
 };
 
 // Executes the ops in order. When `log` is non-null, appends one JSON
@@ -52,7 +96,8 @@ struct ReplayResult {
 // machine-readable replay record `im_run --serve` prints.
 ReplayResult ReplayWorkload(EpochGraphStore& store, ImService& service,
                             const std::vector<WorkloadOp>& ops,
-                            std::string* log = nullptr);
+                            std::string* log = nullptr,
+                            const ReplayOptions& options = {});
 
 }  // namespace imbench
 

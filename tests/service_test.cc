@@ -358,8 +358,99 @@ TEST(WorkloadTest, RejectsMalformedLines) {
   EXPECT_NE(error.find("line 1"), std::string::npos);
   EXPECT_FALSE(ParseWorkload("query k=5\nfrobnicate\n", &ops, &error));
   EXPECT_NE(error.find("line 2"), std::string::npos);
+  // The offending line itself is quoted in the message.
+  EXPECT_NE(error.find("[frobnicate]"), std::string::npos);
   EXPECT_FALSE(ParseWorkload("add 0,1\n", &ops, &error));
+  EXPECT_NE(error.find("[add 0,1]"), std::string::npos);
   EXPECT_FALSE(ParseWorkload("query k=5 k5\n", &ops, &error));
+}
+
+TEST(WorkloadTest, LenientParseKeepsMalformedLinesInOrder) {
+  std::vector<WorkloadOp> ops;
+  ParseWorkloadLenient(
+      "query k=5\nfrobnicate the graph\nadd 0,1,0.5\nadd 0,1\n", &ops);
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].kind, WorkloadOp::Kind::kQuery);
+  EXPECT_EQ(ops[1].kind, WorkloadOp::Kind::kMalformed);
+  EXPECT_EQ(ops[1].line, 2);
+  EXPECT_EQ(ops[1].text, "frobnicate the graph");
+  EXPECT_NE(ops[1].error.find("unknown op"), std::string::npos);
+  EXPECT_EQ(ops[2].kind, WorkloadOp::Kind::kAddEdges);
+  EXPECT_EQ(ops[3].kind, WorkloadOp::Kind::kMalformed);
+  EXPECT_EQ(ops[3].line, 4);
+}
+
+TEST(WorkloadTest, ReplayKeepGoingReportsErrorsAndContinues) {
+  EpochGraphStore store(ServiceTestGraph(DiffusionKind::kIndependentCascade));
+  ServiceOptions options;
+  options.epsilon = 4.0;
+  options.seed = kSeed;
+  ImService service(store, options);
+
+  std::vector<WorkloadOp> ops;
+  ParseWorkloadLenient("query k=5\nfrobnicate\nquery k=5\n", &ops);
+  ASSERT_EQ(ops.size(), 3u);
+
+  // Strict mode halts at the malformed op: one query served.
+  std::string log;
+  const ReplayResult strict = ReplayWorkload(store, service, ops, &log);
+  EXPECT_EQ(strict.queries.size(), 1u);
+  EXPECT_EQ(strict.errors, 1u);
+
+  // keep-going emits the error record and serves the rest.
+  ReplayOptions lenient;
+  lenient.keep_going = true;
+  log.clear();
+  const ReplayResult kept =
+      ReplayWorkload(store, service, ops, &log, lenient);
+  EXPECT_EQ(kept.queries.size(), 2u);
+  EXPECT_EQ(kept.errors, 1u);
+  EXPECT_NE(log.find("\"op\":\"error\""), std::string::npos);
+  EXPECT_NE(log.find("\"line\":2"), std::string::npos);
+  EXPECT_NE(log.find("frobnicate"), std::string::npos);
+}
+
+TEST(WorkloadTest, ReplayDrainsOnStopFlag) {
+  EpochGraphStore store(ServiceTestGraph(DiffusionKind::kIndependentCascade));
+  ServiceOptions options;
+  options.epsilon = 4.0;
+  options.seed = kSeed;
+  ImService service(store, options);
+
+  std::vector<WorkloadOp> ops;
+  std::string error;
+  ASSERT_TRUE(ParseWorkload("query k=5\nquery k=6\n", &ops, &error)) << error;
+
+  std::atomic<bool> stop{true};
+  ReplayOptions replay_options;
+  replay_options.stop = &stop;
+  const ReplayResult drained =
+      ReplayWorkload(store, service, ops, nullptr, replay_options);
+  EXPECT_TRUE(drained.interrupted);
+  EXPECT_TRUE(drained.queries.empty());
+
+  // With the flag clear the same replay runs to completion, and each
+  // query's budget carries the flag for graceful mid-query cancellation.
+  stop.store(false);
+  const ReplayResult full =
+      ReplayWorkload(store, service, ops, nullptr, replay_options);
+  EXPECT_FALSE(full.interrupted);
+  EXPECT_EQ(full.queries.size(), 2u);
+}
+
+TEST(WorkloadTest, QueryJsonReportsRetriesAndDegradeMode) {
+  EpochGraphStore store(ServiceTestGraph(DiffusionKind::kIndependentCascade));
+  ServiceOptions options;
+  options.epsilon = 4.0;
+  options.seed = kSeed;
+  ImService service(store, options);
+  std::vector<WorkloadOp> ops;
+  std::string error;
+  ASSERT_TRUE(ParseWorkload("query k=5\n", &ops, &error)) << error;
+  std::string log;
+  ReplayWorkload(store, service, ops, &log);
+  EXPECT_NE(log.find("\"retries\":0"), std::string::npos);
+  EXPECT_NE(log.find("\"degraded\":\"none\""), std::string::npos);
 }
 
 TEST(WorkloadTest, ReplayDrivesStoreAndService) {

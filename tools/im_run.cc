@@ -18,9 +18,11 @@
 #include <memory>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "diffusion/spread.h"
 #include "framework/datasets.h"
+#include "framework/fault.h"
 #include "framework/memory.h"
 #include "framework/registry.h"
 #include "framework/run_guard.h"
@@ -91,8 +93,34 @@ int main(int argc, char** argv) {
       "workload", "", "query+mutation workload file for --serve");
   double* eps = flags.AddDouble(
       "eps", 0.5, "service default sampling accuracy for --serve queries");
+  bool* keep_going = flags.AddBool(
+      "keep-going", false,
+      "--serve: report malformed workload lines and failed mutations as "
+      "{\"op\":\"error\"} records and keep replaying instead of stopping");
+  std::string* checkpoint_path = flags.AddString(
+      "checkpoint", "",
+      "--serve: recover the warm RR corpus from this file on start (if it "
+      "matches the graph/seed/model) and save it back on exit");
+  std::string* fault_plan_spec = flags.AddString(
+      "fault-plan", "",
+      "arm deterministic fault injection, e.g. "
+      "'rr_arena_grow:hit=1,checkpoint_write:hit=1' "
+      "(see framework/fault.h for the grammar)");
+  int64_t* fault_seed = flags.AddInt(
+      "fault-seed", 0, "RNG seed for probabilistic fault rules");
   bool* list = flags.AddBool("list", false, "list algorithms and exit");
   flags.Parse(argc, argv);
+
+  if (!fault_plan_spec->empty()) {
+    FaultPlan plan;
+    std::string fault_error;
+    if (!ParseFaultPlan(*fault_plan_spec, &plan, &fault_error)) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", fault_error.c_str());
+      return 2;
+    }
+    plan.seed = static_cast<uint64_t>(*fault_seed);
+    FaultInjector::Global().Arm(plan);
+  }
 
   if (*list) {
     std::printf("%-16s %-4s %-4s %s\n", "name", "IC", "LT", "parameter");
@@ -140,9 +168,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--serve requires --workload=FILE\n");
       return 2;
     }
-    std::vector<WorkloadOp> ops;
+    // The workload read is a fault site; a transient IO failure (volume
+    // not mounted yet) is retried a few times before giving up.
+    std::string workload_text;
     std::string error;
-    if (!ParseWorkloadFile(*workload_path, &ops, &error)) {
+    bool read_ok = false;
+    for (int attempt = 0; attempt < 3 && !read_ok; ++attempt) {
+      read_ok = ReadWorkloadFile(*workload_path, &workload_text, &error);
+    }
+    if (!read_ok) {
+      std::fprintf(stderr, "cannot read workload %s: %s\n",
+                   workload_path->c_str(), error.c_str());
+      return 1;
+    }
+    std::vector<WorkloadOp> ops;
+    if (*keep_going) {
+      ParseWorkloadLenient(workload_text, &ops);
+    } else if (!ParseWorkload(workload_text, &ops, &error)) {
       std::fprintf(stderr, "bad workload %s: %s\n", workload_path->c_str(),
                    error.c_str());
       return 1;
@@ -154,12 +196,66 @@ int main(int argc, char** argv) {
     service_options.seed = static_cast<uint64_t>(*seed);
     service_options.threads = static_cast<uint32_t>(*threads);
     service_options.trace = tr;
+    // An explicit pool sized to --threads: the shared pool is sized to the
+    // hardware, which silently falls back to the sequential engine on a
+    // single-core box even when more threads were asked for. Results are
+    // thread-count invariant either way; this keeps the flag honest.
+    std::unique_ptr<ThreadPool> serve_pool;
+    if (service_options.threads > 1) {
+      serve_pool = std::make_unique<ThreadPool>(service_options.threads - 1);
+      service_options.pool = serve_pool.get();
+    }
     ImService service(store, service_options);
+
+    // SIGINT/SIGTERM drain the in-flight op, the summary line below still
+    // prints, and the process exits 0 — an orchestrated stop is not an
+    // error.
+    InstallServeSignalHandlers();
+
+    if (!checkpoint_path->empty()) {
+      std::string detail;
+      const CheckpointStatus status =
+          service.LoadCheckpoint(*checkpoint_path, &detail);
+      std::printf(
+          "{\"op\":\"checkpoint\",\"action\":\"recover\",\"status\":\"%s\","
+          "\"warm_sets\":%zu,\"detail\":\"%s\"}\n",
+          CheckpointStatusName(status), service.corpus().size(),
+          detail.c_str());
+    }
 
     Timer timer;
     std::string log;
-    const ReplayResult replay = ReplayWorkload(store, service, ops, &log);
+    ReplayOptions replay_options;
+    replay_options.stop = SigintCancelFlag();
+    replay_options.keep_going = *keep_going;
+    replay_options.retry_backoff_seconds = 0.001;
+    const ReplayResult replay =
+        ReplayWorkload(store, service, ops, &log, replay_options);
     std::fputs(log.c_str(), stdout);
+
+    if (!checkpoint_path->empty()) {
+      std::string detail;
+      const bool saved = service.SaveCheckpoint(*checkpoint_path, &detail);
+      std::printf(
+          "{\"op\":\"checkpoint\",\"action\":\"save\",\"status\":\"%s\","
+          "\"warm_sets\":%zu,\"detail\":\"%s\"}\n",
+          saved ? "ok" : "failed", service.corpus().size(), detail.c_str());
+    }
+
+    std::printf(
+        "{\"op\":\"summary\",\"queries\":%zu,\"mutations\":%llu,"
+        "\"retries\":%llu,\"degraded\":%llu,\"errors\":%llu,"
+        "\"final_epoch\":%llu,\"corpus_epochs\":%llu,\"warm_sets\":%zu,"
+        "\"interrupted\":%s,\"elapsed_seconds\":%.3f}\n",
+        replay.queries.size(),
+        static_cast<unsigned long long>(replay.mutations),
+        static_cast<unsigned long long>(replay.retries),
+        static_cast<unsigned long long>(replay.degraded),
+        static_cast<unsigned long long>(replay.errors),
+        static_cast<unsigned long long>(replay.final_epoch),
+        static_cast<unsigned long long>(service.corpus_epoch()),
+        service.corpus().size(), replay.interrupted ? "true" : "false",
+        timer.Seconds());
     std::printf(
         "served %zu queries, %llu mutations, final epoch %llu, warm corpus "
         "%zu sets (%.2f MB), %.3fs\n",
