@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "diffusion/cascade.h"
+#include "diffusion/fused_cascade.h"
 #include "diffusion/rr_sets.h"
 #include "framework/datasets.h"
 #include "graph/weights.h"
@@ -88,6 +89,71 @@ void BM_CascadeFreshContextAblation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CascadeFreshContextAblation);
+
+// Fused kernels: one iteration is a whole 64-simulation block, so compare
+// items-per-second here against 64x the scalar cascade benchmarks.
+void BM_FusedBlockIcWc(benchmark::State& state) {
+  const Graph& graph = WcGraph();
+  FusedCascadeContext context(graph);
+  const std::vector<NodeId> seeds = {0, 7, 42};
+  NodeId gamma[kFusedLanes];
+  uint64_t block = 0;
+  for (auto _ : state) {
+    context.RunBlock(DiffusionKind::kIndependentCascade, seeds, 1, block++,
+                     kFusedLanes, gamma);
+    benchmark::DoNotOptimize(gamma[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kFusedLanes);
+}
+BENCHMARK(BM_FusedBlockIcWc);
+
+void BM_FusedBlockIcConstant(benchmark::State& state) {
+  const Graph& graph = IcGraph();
+  FusedCascadeContext context(graph);
+  const std::vector<NodeId> seeds = {0, 7, 42};
+  NodeId gamma[kFusedLanes];
+  uint64_t block = 0;
+  for (auto _ : state) {
+    context.RunBlock(DiffusionKind::kIndependentCascade, seeds, 2, block++,
+                     kFusedLanes, gamma);
+    benchmark::DoNotOptimize(gamma[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kFusedLanes);
+}
+BENCHMARK(BM_FusedBlockIcConstant);
+
+void BM_FusedBlockLt(benchmark::State& state) {
+  const Graph& graph = LtGraph();
+  FusedCascadeContext context(graph);
+  const std::vector<NodeId> seeds = {0, 7, 42};
+  NodeId gamma[kFusedLanes];
+  uint64_t block = 0;
+  for (auto _ : state) {
+    context.RunBlock(DiffusionKind::kLinearThreshold, seeds, 3, block++,
+                     kFusedLanes, gamma);
+    benchmark::DoNotOptimize(gamma[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kFusedLanes);
+}
+BENCHMARK(BM_FusedBlockLt);
+
+// Fused RR generation: one iteration produces 64 RR sets.
+void BM_FusedRrBlockIcWc(benchmark::State& state) {
+  const Graph& graph = WcGraph();
+  FusedRrContext context(graph);
+  std::vector<NodeId> members;
+  std::vector<uint32_t> sizes;
+  uint64_t first = 0;
+  for (auto _ : state) {
+    members.clear();
+    sizes.clear();
+    context.GenerateRange(5, first, kFusedLanes, members, sizes, nullptr);
+    first += kFusedLanes;
+    benchmark::DoNotOptimize(members.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFusedLanes);
+}
+BENCHMARK(BM_FusedRrBlockIcWc);
 
 void BM_RrSetIcWc(benchmark::State& state) {
   const Graph& graph = WcGraph();

@@ -10,14 +10,12 @@ namespace imbench {
 SelectionResult Celf::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
-  CascadeContext context(graph.num_nodes());
-  Rng rng = Rng::ForStream(input.seed, 0);
   // Streaming mode: one live Rng across all lazy re-evaluations.
+  StreamingScratch scratch(graph.num_nodes(), input.seed);
   SpreadOptions mc;
   mc.simulations = options_.simulations;
   mc.guard = input.guard;
-  mc.context = &context;
-  mc.rng = &rng;
+  mc.streaming = &scratch;
   mc.trace = input.trace;
 
   SelectionResult result;

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
-#include "diffusion/cascade.h"
+#include "diffusion/spread.h"
 #include "framework/trace.h"
 
 namespace imbench {
@@ -28,8 +28,12 @@ struct Entry {
 SelectionResult CelfPlusPlus::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
-  CascadeContext context(graph.num_nodes());
-  Rng rng = Rng::ForStream(input.seed, 0);
+  // The scratch handle owns the live Rng and cascade context this loop
+  // streams simulations through (the Simulate/Continue pairing below has
+  // no EstimateSpread equivalent, so it drives the scratch directly).
+  StreamingScratch scratch(graph.num_nodes(), input.seed);
+  CascadeContext& context = scratch.context();
+  Rng& rng = scratch.rng();
 
   std::vector<NodeId> seeds;
   double current_spread = 0;  // σ(S)

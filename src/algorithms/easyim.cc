@@ -13,14 +13,12 @@ SelectionResult EasyIm::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   const NodeId n = graph.num_nodes();
-  Rng rng = Rng::ForStream(input.seed, 0);
-  CascadeContext context(n);
   // Streaming mode for the candidate-validation simulations.
+  StreamingScratch scratch(n, input.seed);
   SpreadOptions mc;
   mc.simulations = options_.simulations;
   mc.guard = input.guard;
-  mc.context = &context;
-  mc.rng = &rng;
+  mc.streaming = &scratch;
   mc.trace = input.trace;
 
   std::vector<uint8_t> is_seed(n, 0);

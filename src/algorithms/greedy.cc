@@ -9,15 +9,13 @@ namespace imbench {
 SelectionResult Greedy::Select(const SelectionInput& input) {
   const Graph& graph = *input.graph;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
-  CascadeContext context(graph.num_nodes());
-  Rng rng = Rng::ForStream(input.seed, 0);
   // Streaming mode: one live Rng across the whole greedy scan, reusing the
   // cascade scratch (the classic Kempe et al. estimator).
+  StreamingScratch scratch(graph.num_nodes(), input.seed);
   SpreadOptions mc;
   mc.simulations = options_.simulations;
   mc.guard = input.guard;
-  mc.context = &context;
-  mc.rng = &rng;
+  mc.streaming = &scratch;
   mc.trace = input.trace;
 
   SelectionResult result;

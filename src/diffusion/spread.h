@@ -1,9 +1,11 @@
 // Monte-Carlo estimation of the expected spread σ(S) = E[Γ(S)] (Sec. 2).
 //
 // One entry point: EstimateSpread(graph, kind, seeds, SpreadOptions).
-// Deterministic in (seed, simulations): simulation i always draws from
-// Rng::ForStream(seed, i) and samples are aggregated in index order, so the
-// estimate is bit-identical for every thread count.
+// Deterministic in (seed, simulations, engine): the scalar engine draws
+// simulation i from Rng::ForStream(seed, i); the fused engine runs 64
+// simulations per block with block-keyed streams (diffusion/fused_cascade.h).
+// Either way samples are aggregated in index order, so the estimate is
+// bit-identical for every thread count.
 #ifndef IMBENCH_DIFFUSION_SPREAD_H_
 #define IMBENCH_DIFFUSION_SPREAD_H_
 
@@ -13,6 +15,7 @@
 
 #include "common/run_options.h"
 #include "diffusion/cascade.h"
+#include "diffusion/mc_engine.h"
 #include "graph/graph.h"
 
 namespace imbench {
@@ -26,24 +29,46 @@ struct SpreadEstimate {
   double stddev = 0;   // sample standard deviation of Γ(S)
   uint32_t simulations = 0;
 
-  // Standard error of the mean.
+  // Standard error of the mean; 0 when fewer than two samples were
+  // aggregated (a guard-tripped run can finish with a single sample).
   double StdError() const;
 };
 
+// Streaming mode for tight greedy/CELF loops: one scratch handle owning
+// both the reusable cascade context and the live Rng the simulations draw
+// from, so the two can never be half-set. The default stream 0 matches
+// what every greedy loop historically used (Rng::ForStream(seed, 0)).
+// Estimation through a StreamingScratch is always sequential and always
+// scalar — a live stream cannot be split across threads or fused blocks.
+class StreamingScratch {
+ public:
+  StreamingScratch(NodeId num_nodes, uint64_t seed, uint64_t stream = 0)
+      : context_(num_nodes), rng_(Rng::ForStream(seed, stream)) {}
+
+  CascadeContext& context() { return context_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  CascadeContext context_;
+  Rng rng_;
+};
+
 // How to run one spread estimation. The shared run controls (seed, threads,
-// guard, trace, pool) come from CommonRunOptions: simulation i uses
-// Rng::ForStream(seed, i) (ignored in streaming mode, see `rng`); the guard
-// is polled once per simulation and a tripped budget aggregates the partial
-// sample prefix; the trace's kSimulations counter is bumped per completed
-// simulation (thread-count-invariant; no spans are opened here because
-// tight greedy loops call EstimateSpread thousands of times).
+// guard, trace, pool) come from CommonRunOptions; the guard is polled once
+// per simulation (scalar) or once per 64-simulation block (fused) and a
+// tripped budget aggregates the partial sample prefix; the trace's
+// kSimulations counter is bumped per completed simulation and kFusedBlocks
+// per completed fused block (thread-count-invariant; no spans are opened
+// here because tight greedy loops call EstimateSpread thousands of times).
 struct SpreadOptions : CommonRunOptions {
   uint32_t simulations = kReferenceSimulations;
-  // Streaming mode for tight greedy/CELF loops: reuse the caller's scratch
-  // and draw from its live Rng instead of per-simulation streams. Set both
-  // together; forces sequential execution (a live stream cannot be split).
-  CascadeContext* context = nullptr;
-  Rng* rng = nullptr;
+  // Which MC kernel to run. kAuto resolves to kFused64 when
+  // simulations >= 64 and no streaming scratch is attached, else kScalar.
+  // Requesting kFused64 together with `streaming` is a usage error.
+  McEngine engine = McEngine::kAuto;
+  // When set, simulations run sequentially on the caller's scratch and
+  // draw from its live Rng instead of per-simulation streams.
+  StreamingScratch* streaming = nullptr;
 };
 
 // Runs options.simulations cascades of `seeds` and aggregates Γ(S). An

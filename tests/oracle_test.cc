@@ -71,6 +71,35 @@ TEST(OracleTest, McEstimatorMatchesExactSpreadOnAllWeightModels) {
   }
 }
 
+TEST(OracleTest, FusedMcEstimatorMatchesExactSpreadOnAllWeightModels) {
+  // Same oracle agreement as above, through the bit-parallel fused engine.
+  // The fused kernels quantize edge probabilities to kCoinBits binary
+  // digits (bias <= 2^-17 per edge), far below 3 sigma at 200K samples.
+  const WeightModel models[] = {WeightModel::kIcConstant,
+                                WeightModel::kWc,
+                                WeightModel::kTrivalency,
+                                WeightModel::kLtUniform,
+                                WeightModel::kLtRandom,
+                                WeightModel::kLtParallel};
+  const std::vector<std::vector<NodeId>> seed_sets = {{0}, {0, 3}, {1, 5}};
+  for (const WeightModel model : models) {
+    Graph graph = OracleGraph();
+    Rng rng(0x0badc0de);
+    AssignWeights(graph, model, 0.3, rng);
+    const DiffusionKind kind = DiffusionKindFor(model);
+    for (const auto& seeds : seed_sets) {
+      const double exact = ExactSpread(graph, kind, seeds);
+      SpreadOptions options;
+      options.simulations = 200000;
+      options.seed = 99;
+      options.engine = McEngine::kFused64;
+      const SpreadEstimate est = EstimateSpread(graph, kind, seeds, options);
+      ExpectWithinThreeSigma(est.mean, exact, est.StdError(),
+                             WeightModelName(model).c_str());
+    }
+  }
+}
+
 TEST(OracleTest, ExactSpreadHandComputableCases) {
   // Path 0 -> 1 -> 2 with weight p: σ({0}) = 1 + p + p^2.
   const double p = 0.4;

@@ -1,5 +1,7 @@
 #include "diffusion/spread.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 #include "common/thread_pool.h"
 #include "framework/datasets.h"
@@ -67,17 +69,27 @@ TEST(SpreadTest, HubSpreadMatchesClosedForm) {
 TEST(SpreadTest, ScratchOverloadAgreesWithStreamOverload) {
   Graph g = testutil::HubGraph();
   const std::vector<NodeId> seeds = {0};
-  CascadeContext ctx(g.num_nodes());
-  Rng rng(17);
+  StreamingScratch scratch(g.num_nodes(), 17);
   SpreadOptions streaming;
   streaming.simulations = 3000;
-  streaming.context = &ctx;
-  streaming.rng = &rng;
+  streaming.streaming = &scratch;
   const SpreadEstimate a =
       EstimateSpread(g, DiffusionKind::kIndependentCascade, seeds, streaming);
   const SpreadEstimate b = EstimateSpread(
       g, DiffusionKind::kIndependentCascade, seeds, SpreadOpts(3000, 17));
   EXPECT_NEAR(a.mean, b.mean, 0.2);  // same distribution, different streams
+}
+
+TEST(SpreadTest, StdErrorIsZeroBelowTwoSamples) {
+  SpreadEstimate none;
+  EXPECT_DOUBLE_EQ(none.StdError(), 0.0);
+  SpreadEstimate one;
+  one.mean = 3.0;
+  one.simulations = 1;
+  // A guard-tripped run can aggregate a single sample; the standard error
+  // must come back 0, never NaN.
+  EXPECT_DOUBLE_EQ(one.StdError(), 0.0);
+  EXPECT_FALSE(std::isnan(one.StdError()));
 }
 
 TEST(SpreadTest, ZeroSimulations) {

@@ -100,7 +100,8 @@ TEST(TraceTest, JsonGoldenDeterministicDocument) {
     "guard_polls": 1,
     "rr_sets_repaired": 0,
     "rr_sets_reused": 0,
-    "corpus_epochs": 0
+    "corpus_epochs": 0,
+    "fused_blocks": 0
   },
   "phases": [
     {"name": "sample", "parent": -1, "depth": 0, "counters": {"rr_sets": 3, "rr_edges_examined": 17}},
@@ -116,6 +117,21 @@ TEST(TraceTest, JsonGoldenDeterministicDocument) {
   const std::string timed = trace.ToJson(/*include_timings=*/true);
   EXPECT_NE(timed.find("\"timings\""), std::string::npos);
   EXPECT_NE(timed.find("\"elapsed_seconds\""), std::string::npos);
+}
+
+TEST(TraceTest, AnnotationsEmittedOnlyWhenPresent) {
+  Trace trace;
+  { Span span(&trace, "sample"); }
+  // Without annotations the document keeps its historical shape exactly.
+  EXPECT_EQ(trace.ToJson(/*include_timings=*/false).find("annotations"),
+            std::string::npos);
+  trace.Annotate("mc_engine", "fused");
+  trace.Annotate("mc_engine", "scalar");  // overwrite, not duplicate
+  trace.Annotate("dataset", "nethept");
+  const std::string json = trace.ToJson(/*include_timings=*/false);
+  EXPECT_NE(json.find("\"annotations\": {\n    \"mc_engine\": \"scalar\",\n"
+                      "    \"dataset\": \"nethept\"\n  }"),
+            std::string::npos);
 }
 
 TEST(TraceTest, WriteJsonFileRoundTrips) {
