@@ -450,7 +450,11 @@ void PadSeeds(NodeId num_nodes, uint32_t k, std::vector<uint8_t>& chosen,
 
 uint32_t RrCollection::PrefixDegree(NodeId v, size_t limit) const {
   // Each node's inverted-index slice lists set ids in increasing order, so
-  // the ids below `limit` form a prefix of the slice.
+  // the ids below `limit` form a prefix of the slice. An empty prefix must
+  // short-circuit: `limit - 1` would wrap to UINT32_MAX and report the
+  // whole-corpus degree, making a limit-0 cover pick by corpus degree
+  // instead of degrading to the PadSeeds order.
+  if (limit == 0) return 0;
   const auto begin = inv_sets_.begin() + inv_offsets_[v];
   const auto end = inv_sets_.begin() + inv_offsets_[v + 1];
   if (limit >= size()) return static_cast<uint32_t>(end - begin);

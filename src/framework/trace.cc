@@ -13,7 +13,7 @@ constexpr const char* kCounterNames[kNumTraceCounters] = {
     "rr_sets",   "rr_edges_examined",   "simulations",    "node_lookups",
     "queue_reevaluations", "snapshots", "scoring_rounds", "guard_polls",
     "rr_sets_repaired",    "rr_sets_reused",              "corpus_epochs",
-    "fused_blocks",
+    "fused_blocks",        "bnb_nodes_expanded",          "bnb_pruned",
 };
 
 void AppendEscaped(std::string& out, std::string_view text) {

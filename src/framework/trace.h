@@ -52,8 +52,10 @@ enum class TraceCounter : uint8_t {
   kRrSetsReused,        // warm-corpus sets served without resampling
   kCorpusEpochs,        // warm-corpus migrations to a newer graph epoch
   kFusedBlocks,         // 64-simulation fused MC blocks completed
+  kBnbNodesExpanded,    // branch-and-bound search-tree nodes expanded
+  kBnbPruned,           // B&B subtrees pruned by the submodular bound
 };
-inline constexpr int kNumTraceCounters = 12;
+inline constexpr int kNumTraceCounters = 14;
 
 // Short stable identifier used as the JSON key ("rr_sets", ...).
 const char* TraceCounterName(TraceCounter counter);

@@ -1,0 +1,307 @@
+// The branch-and-bound exact-optimum module (framework/exact_opt.h):
+// differential equality against exhaustive enumeration on every weight
+// model, the B&B invariants (monotonicity in k, root-bound dominance,
+// graceful budget/guard degradation), thread-count bit-invariance, and
+// completion on graphs ~10x beyond the per-set 2^m oracle frontier.
+#include "framework/exact_opt.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "framework/registry.h"
+#include "framework/run_guard.h"
+#include "graph/weights.h"
+#include "tests/oracle_util.h"
+#include "tests/test_util.h"
+
+namespace imbench {
+namespace {
+
+constexpr WeightModel kAllModels[] = {
+    WeightModel::kIcConstant, WeightModel::kWc,       WeightModel::kTrivalency,
+    WeightModel::kLtUniform,  WeightModel::kLtRandom, WeightModel::kLtParallel,
+};
+
+// Same fixture as oracle_test.cc: 6 nodes, 8 distinct edges with a cycle
+// and a duplicated arc, solvable by the historical per-set 2^m oracle.
+Graph SmallGraph(WeightModel model) {
+  std::vector<Arc> arcs = {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4},
+                           {4, 5}, {5, 3}, {1, 4}, {0, 1}};
+  Graph graph = Graph::FromArcs(6, arcs);
+  Rng rng(0x0badc0de);
+  AssignWeights(graph, model, 0.3, rng);
+  return graph;
+}
+
+// 20 nodes: a 6-edge star at node 0, a 6-node chain, a 3-cycle and a few
+// isolated nodes. Both module searches run comfortably here, so it doubles
+// as a differential fixture beyond the small graph.
+Graph MediumGraph(WeightModel model) {
+  std::vector<Arc> arcs = {{0, 1},   {0, 2},   {0, 3},   {0, 4},  {0, 5},
+                           {0, 6},   {7, 8},   {8, 9},   {9, 10}, {10, 11},
+                           {11, 12}, {13, 14}, {14, 15}, {15, 13}};
+  Graph graph = Graph::FromArcs(20, arcs);
+  Rng rng(0x5eed5eed);
+  AssignWeights(graph, model, 0.3, rng);
+  return graph;
+}
+
+// 64 nodes — 10x the small fixture — with an 8-edge star, a 5-node chain
+// and isolated tail nodes. Re-running a per-set live-edge enumeration for
+// each of the C(64, 3) = 41664 candidate sets is hopeless, but the
+// closure-table B&B proves the optimum in a handful of tree nodes because
+// every isolated-node subtree prunes at its first prefix.
+Graph LargeGraph() {
+  std::vector<Arc> arcs;
+  for (NodeId v = 1; v <= 8; ++v) arcs.push_back(Arc{0, v});
+  for (NodeId v = 11; v < 15; ++v) arcs.push_back(Arc{v, v + 1});
+  Graph graph = Graph::FromArcs(64, arcs);
+  Rng rng(0xfeedface);
+  AssignWeights(graph, WeightModel::kIcConstant, 0.3, rng);
+  return graph;
+}
+
+// 30 nodes with 14 independently-live star edges: 2^14 distinct closure
+// classes, so evaluations span multiple fixed-size blocks and genuinely
+// fan out over the pool in the multi-thread runs.
+Graph MultiBlockGraph() {
+  std::vector<Arc> arcs;
+  for (NodeId v = 1; v <= 14; ++v) arcs.push_back(Arc{0, v});
+  Graph graph = Graph::FromArcs(30, arcs);
+  Rng rng(0xabcdef);
+  AssignWeights(graph, WeightModel::kIcConstant, 0.3, rng);
+  return graph;
+}
+
+uint64_t Bits(double value) { return std::bit_cast<uint64_t>(value); }
+
+TEST(ExactOptTest, OracleSpreadMatchesLegacyEnumeration) {
+  // The closure-table σ must agree with the independent per-set live-edge
+  // enumeration from tests/oracle_util.h on every weight model (summation
+  // order differs, so agreement is to float tolerance, not bitwise).
+  const std::vector<std::vector<NodeId>> seed_sets = {
+      {0}, {3}, {0, 3}, {1, 5}, {0, 1, 2, 3, 4, 5}};
+  for (const WeightModel model : kAllModels) {
+    const Graph graph = SmallGraph(model);
+    const DiffusionKind kind = DiffusionKindFor(model);
+    const ExactSpreadOracle oracle(graph, kind, ExactOptOptions());
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_GT(oracle.num_classes(), 0u);
+    for (const auto& seeds : seed_sets) {
+      EXPECT_NEAR(oracle.Spread(seeds),
+                  testutil::ExactSpread(graph, kind, seeds), 1e-9)
+          << WeightModelName(model);
+    }
+    // Marginal gains are exact: σ(S ∪ {v}) − σ(S) for every candidate.
+    std::vector<double> gains;
+    const std::vector<NodeId> base_seeds = {1};
+    const double base = oracle.SpreadWithGains(base_seeds, 0, &gains);
+    ASSERT_EQ(gains.size(), graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      std::vector<NodeId> extended = {1};
+      if (v != 1) extended.push_back(v);
+      std::sort(extended.begin(), extended.end());
+      EXPECT_NEAR(base + gains[v],
+                  testutil::ExactSpread(graph, kind, extended), 1e-9)
+          << WeightModelName(model) << " gain of node " << v;
+    }
+  }
+}
+
+TEST(ExactOptTest, BnbMatchesExhaustiveBitForBitOnAllWeightModels) {
+  for (const WeightModel model : kAllModels) {
+    for (const bool medium : {false, true}) {
+      const Graph graph =
+          medium ? MediumGraph(model) : SmallGraph(model);
+      const DiffusionKind kind = DiffusionKindFor(model);
+      if (!ExactOracleFeasible(graph, kind, ExactOptOptions())) continue;
+      for (const uint32_t k : {1u, 2u, 3u}) {
+        const ExactOptResult exhaustive =
+            ExhaustiveOptimum(graph, kind, k, ExactOptOptions());
+        const ExactOptResult bnb =
+            BranchAndBoundOptimum(graph, kind, k, ExactOptOptions());
+        ASSERT_TRUE(exhaustive.proven());
+        ASSERT_TRUE(bnb.proven());
+        EXPECT_EQ(bnb.seeds, exhaustive.seeds)
+            << WeightModelName(model) << " k=" << k;
+        // Bit-for-bit: both sides evaluate their result through the same
+        // fixed-block closure-table path.
+        EXPECT_EQ(Bits(bnb.spread), Bits(exhaustive.spread))
+            << WeightModelName(model) << " k=" << k;
+        // Cross-check against the independent enumeration.
+        EXPECT_NEAR(bnb.spread,
+                    testutil::ExactSpread(graph, kind, bnb.seeds), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ExactOptTest, OptimumMonotoneNondecreasingInK) {
+  for (const WeightModel model :
+       {WeightModel::kWc, WeightModel::kLtUniform}) {
+    const Graph graph = MediumGraph(model);
+    const DiffusionKind kind = DiffusionKindFor(model);
+    double previous = 0;
+    for (uint32_t k = 0; k <= 5; ++k) {
+      const ExactOptResult result =
+          BranchAndBoundOptimum(graph, kind, k, ExactOptOptions());
+      ASSERT_TRUE(result.proven());
+      EXPECT_GE(result.spread, previous) << WeightModelName(model) << " k="
+                                         << k;
+      EXPECT_EQ(result.seeds.size(), k);
+      previous = result.spread;
+    }
+  }
+}
+
+TEST(ExactOptTest, RootUpperBoundDominatesIncumbent) {
+  for (const WeightModel model : kAllModels) {
+    const Graph graph = SmallGraph(model);
+    const DiffusionKind kind = DiffusionKindFor(model);
+    const ExactOptResult result =
+        BranchAndBoundOptimum(graph, kind, 2, ExactOptOptions());
+    ASSERT_TRUE(result.proven());
+    // The submodular root bound is an upper bound on every incumbent the
+    // search ever holds, the final (optimal) one included.
+    EXPECT_GE(result.root_upper_bound + 1e-9, result.spread)
+        << WeightModelName(model);
+    EXPECT_GT(result.spread, 0);
+  }
+}
+
+TEST(ExactOptTest, NodeBudgetReturnsValidLowerBoundIncumbent) {
+  const Graph graph = MediumGraph(WeightModel::kWc);
+  const DiffusionKind kind = DiffusionKind::kIndependentCascade;
+  const ExactOptResult proven =
+      BranchAndBoundOptimum(graph, kind, 3, ExactOptOptions());
+  ASSERT_TRUE(proven.proven());
+
+  ExactOptOptions capped;
+  capped.node_budget = 1;  // room for the root only
+  const ExactOptResult result = BranchAndBoundOptimum(graph, kind, 3, capped);
+  EXPECT_EQ(result.status, ExactOptStatus::kNodeBudget);
+  EXPECT_EQ(result.stop, StopReason::kNone);
+  // Never a silent wrong answer: the non-proven status is explicit, and the
+  // incumbent is the greedy seed set — a genuine lower bound on OPT.
+  ASSERT_EQ(result.seeds.size(), 3u);
+  EXPECT_LE(result.spread, proven.spread);
+  EXPECT_NEAR(result.spread, testutil::ExactSpread(graph, kind, result.seeds),
+              1e-9);
+  EXPECT_LE(result.nodes_expanded, capped.node_budget);
+}
+
+TEST(ExactOptTest, GuardTrippedSearchReportsStopReason) {
+  std::atomic<bool> cancel{true};
+  RunBudget budget;
+  budget.cancel = &cancel;
+  RunGuard guard(budget);
+  ExactOptOptions options;
+  options.guard = &guard;
+  const Graph graph = SmallGraph(WeightModel::kWc);
+  const ExactOptResult result = BranchAndBoundOptimum(
+      graph, DiffusionKind::kIndependentCascade, 2, options);
+  EXPECT_EQ(result.status, ExactOptStatus::kStopped);
+  EXPECT_EQ(result.stop, StopReason::kCancelled);
+  // Tripped before any incumbent existed: the result says so instead of
+  // fabricating seeds.
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_EQ(result.spread, 0.0);
+
+  // Exhaustive search degrades through the same path.
+  const ExactOptResult exhaustive = ExhaustiveOptimum(
+      graph, DiffusionKind::kIndependentCascade, 2, options);
+  EXPECT_EQ(exhaustive.status, ExactOptStatus::kStopped);
+  EXPECT_EQ(exhaustive.stop, StopReason::kCancelled);
+}
+
+TEST(ExactOptTest, ByteIdenticalAcrossThreads) {
+  const Graph graph = MultiBlockGraph();
+  const DiffusionKind kind = DiffusionKind::kIndependentCascade;
+  ExactOptOptions base;
+  {
+    // The fixture must actually exercise the multi-block parallel path.
+    const ExactSpreadOracle oracle(graph, kind, base);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_GT(oracle.num_classes(), 4096u);
+  }
+  ExactOptResult reference;
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    ExactOptOptions options;
+    options.threads = threads;
+    const ExactOptResult result =
+        BranchAndBoundOptimum(graph, kind, 3, options);
+    ASSERT_TRUE(result.proven()) << "threads=" << threads;
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.seeds, reference.seeds) << "threads=" << threads;
+    EXPECT_EQ(Bits(result.spread), Bits(reference.spread))
+        << "threads=" << threads;
+    EXPECT_EQ(Bits(result.root_upper_bound), Bits(reference.root_upper_bound))
+        << "threads=" << threads;
+    EXPECT_EQ(result.nodes_expanded, reference.nodes_expanded);
+    EXPECT_EQ(result.nodes_pruned, reference.nodes_pruned);
+  }
+}
+
+TEST(ExactOptTest, CompletesTenTimesBeyondExhaustiveFrontier) {
+  // 64 nodes vs the 6-node oracle fixture. The old per-set 2^m approach
+  // would pay the full live-edge enumeration for each of the C(64, 3) =
+  // 41664 candidate sets; the B&B proves the optimum within the default
+  // node budget, pruning nearly the whole tree via the submodular bound.
+  const Graph graph = LargeGraph();
+  const DiffusionKind kind = DiffusionKind::kIndependentCascade;
+  const ExactOptResult result =
+      BranchAndBoundOptimum(graph, kind, 3, ExactOptOptions());
+  ASSERT_TRUE(result.proven());
+  EXPECT_EQ(result.seeds.size(), 3u);
+  EXPECT_GT(result.nodes_pruned, 0u);
+  EXPECT_LT(result.nodes_expanded, 5000u);  // way inside the default budget
+  // The star hub must be in any optimum here.
+  EXPECT_EQ(result.seeds.front(), 0u);
+  EXPECT_NEAR(result.spread, testutil::ExactSpread(graph, kind, result.seeds),
+              1e-9);
+  // The incumbent seeded by exact greedy is already a lower bound; proving
+  // optimality must not have cost anywhere near the C(64, 3) leaf count.
+  EXPECT_LT(result.nodes_expanded, 41664u / 10);
+}
+
+TEST(ExactOptTest, EdgeCasesKZeroAndKEqualsN) {
+  const Graph graph = SmallGraph(WeightModel::kWc);
+  const DiffusionKind kind = DiffusionKind::kIndependentCascade;
+  const ExactOptResult zero =
+      BranchAndBoundOptimum(graph, kind, 0, ExactOptOptions());
+  ASSERT_TRUE(zero.proven());
+  EXPECT_TRUE(zero.seeds.empty());
+  EXPECT_EQ(zero.spread, 0.0);
+
+  const ExactOptResult all = BranchAndBoundOptimum(
+      graph, kind, graph.num_nodes(), ExactOptOptions());
+  ASSERT_TRUE(all.proven());
+  EXPECT_EQ(all.seeds.size(), graph.num_nodes());
+  EXPECT_NEAR(all.spread, graph.num_nodes(), 1e-9);
+}
+
+TEST(ExactOptTest, FeasibilityProbeRejectsOversizedGraphs) {
+  // 65 nodes exceeds the one-word-per-node closure representation.
+  Graph big = Graph::FromArcs(65, {{0, 1}});
+  EXPECT_FALSE(ExactOracleFeasible(big, DiffusionKind::kIndependentCascade,
+                                   ExactOptOptions()));
+  // A tiny instantiation cap rejects even small graphs...
+  ExactOptOptions tight;
+  tight.max_instantiations = 4;
+  const Graph small = SmallGraph(WeightModel::kWc);
+  EXPECT_FALSE(ExactOracleFeasible(small, DiffusionKind::kIndependentCascade,
+                                   tight));
+  // ...while the default caps accept the test fixtures.
+  EXPECT_TRUE(ExactOracleFeasible(small, DiffusionKind::kIndependentCascade,
+                                  ExactOptOptions()));
+}
+
+}  // namespace
+}  // namespace imbench

@@ -16,6 +16,7 @@
 #include "algorithms/algorithm.h"
 #include "diffusion/rr_sets.h"
 #include "diffusion/spread.h"
+#include "framework/exact_opt.h"
 #include "framework/registry.h"
 #include "graph/weights.h"
 #include "tests/test_util.h"
@@ -26,8 +27,6 @@ namespace {
 using testutil::ExactSpread;
 using testutil::ExactSpreadIc;
 using testutil::ExactSpreadLt;
-using testutil::ExhaustiveOptimum;
-using testutil::ExhaustiveResult;
 
 // 6 nodes, 8 distinct edges (with a cycle 3 -> 4 -> 5 -> 3 and a repeated
 // arc so LT-P sees a multiplicity > 1). Small enough for the 2^m oracle.
@@ -170,7 +169,9 @@ TEST(OracleTest, AlgorithmsReachGreedyGuaranteeOfExhaustiveOptimum) {
     Rng rng(0xfeed);
     AssignWeights(graph, model, 0.3, rng);
     const DiffusionKind kind = DiffusionKindFor(model);
-    const ExhaustiveResult optimum = ExhaustiveOptimum(graph, kind, k);
+    const ExactOptResult optimum =
+        BranchAndBoundOptimum(graph, kind, k, ExactOptOptions());
+    ASSERT_TRUE(optimum.proven());
     ASSERT_GT(optimum.spread, 0);
 
     for (const char* name : kAlgorithms) {

@@ -158,39 +158,11 @@ inline double ExactSpread(const Graph& graph, DiffusionKind kind,
              : ExactSpreadLt(graph, seeds);
 }
 
-struct ExhaustiveResult {
-  std::vector<NodeId> seeds;
-  double spread = 0;
-};
-
-// The true optimum max_{|S| = k} σ(S) over all C(n, k) seed sets;
-// lexicographically smallest among ties, so the result is deterministic.
-inline ExhaustiveResult ExhaustiveOptimum(const Graph& graph,
-                                          DiffusionKind kind, uint32_t k) {
-  const NodeId n = graph.num_nodes();
-  IMBENCH_CHECK(k <= n);
-  ExhaustiveResult best;
-  std::vector<NodeId> current;
-  auto recurse = [&](auto&& self, NodeId next) -> void {
-    if (current.size() == k) {
-      const double spread = ExactSpread(graph, kind, current);
-      if (spread > best.spread) {
-        best.spread = spread;
-        best.seeds = current;
-      }
-      return;
-    }
-    // Not enough nodes left to fill the set.
-    if (n - next < k - current.size()) return;
-    for (NodeId v = next; v < n; ++v) {
-      current.push_back(v);
-      self(self, v + 1);
-      current.pop_back();
-    }
-  };
-  recurse(recurse, 0);
-  return best;
-}
+// The exhaustive C(n, k) optimum search that used to live here moved to
+// framework/exact_opt.h (ExhaustiveOptimum / BranchAndBoundOptimum), which
+// evaluates σ through a precomputed closure table instead of re-running
+// this per-set enumeration — the functions above remain as the independent
+// differential baseline for that module.
 
 }  // namespace testutil
 }  // namespace imbench

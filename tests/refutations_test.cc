@@ -1,0 +1,143 @@
+// The adversarial replication suite (bench/refutations.h): verdict
+// algebra, the machine-readable table's exact shape (golden JSON / TSV),
+// determinism of a full suite run for a fixed seed, and byte-identical
+// verdict tables across a journal resume — including a journal polluted
+// with malformed lines, which the lenient parser must skip without
+// disturbing the replayed cells.
+#include "bench/refutations.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "framework/experiment.h"
+
+namespace imbench {
+namespace {
+
+using namespace imbench::refutation;
+
+// Small enough that a full suite run (six claims, both sides) takes about
+// a second: tiny dataset scale, lean MC budgets on both sides.
+RefutationConfig TinyConfig() {
+  RefutationConfig config;
+  config.k = 5;
+  config.benchmark_simulations = 400;
+  config.refutation_simulations = 100;
+  return config;
+}
+
+WorkbenchOptions TinyOptions() {
+  WorkbenchOptions options;
+  options.scale = DatasetScale::kTiny;
+  options.evaluation_simulations = 200;
+  options.time_budget_seconds = 60;
+  return options;
+}
+
+std::string RunSuiteJson(const WorkbenchOptions& options,
+                         const RefutationConfig& config) {
+  Workbench bench(options);
+  return VerdictJson(config, RunRefutationSuite(bench, config));
+}
+
+TEST(RefutationTest, VerdictCoversAllFourCombinations) {
+  EXPECT_STREQ(Verdict(true, true), "replicates");
+  EXPECT_STREQ(Verdict(false, false), "refuted");
+  EXPECT_STREQ(Verdict(true, false), "parameter-artifact");
+  EXPECT_STREQ(Verdict(false, true), "parameter-artifact");
+}
+
+TEST(RefutationTest, FailedCellsNeverSatisfyAQualityPredicate) {
+  CellResult good;
+  good.spread.mean = 10;
+  CellResult dnf = good;
+  dnf.status = CellResult::Status::kDnf;
+  EXPECT_DOUBLE_EQ(Ratio(good, good), 1.0);
+  EXPECT_DOUBLE_EQ(Ratio(dnf, good), 0.0);
+  EXPECT_DOUBLE_EQ(Ratio(good, dnf), 0.0);
+  EXPECT_DOUBLE_EQ(Parity(dnf, good), 0.0);
+  // A zero ratio can never clear a positive threshold.
+  EXPECT_FALSE(MakeSide("x", Ratio(dnf, good), 0.95, {}).holds);
+}
+
+TEST(RefutationTest, GoldenJsonAndTsvShape) {
+  RefutationConfig config;
+  config.dataset = "golden";
+  config.k = 2;
+  const std::vector<ClaimResult> claims = {MakeClaim(
+      "sample-claim", "a \"quoted\" summary",
+      MakeSide("eps=0.5", 0.975, 0.95, {CellRef{"CELF/golden", "OK"}}),
+      MakeSide("eps=0.1", 0.5, 0.95, {}))};
+
+  const std::string expected_json =
+      "{\n"
+      "  \"version\": 1,\n"
+      "  \"suite\": \"refutations\",\n"
+      "  \"dataset\": \"golden\",\n"
+      "  \"k\": 2,\n"
+      "  \"claims\": [\n"
+      "  {\n"
+      "    \"id\": \"sample-claim\",\n"
+      "    \"summary\": \"a \\\"quoted\\\" summary\",\n"
+      "    \"benchmark\": {\"label\": \"eps=0.5\", \"holds\": true, "
+      "\"value\": 0.975, \"threshold\": 0.95, \"cells\": [{\"key\": "
+      "\"CELF/golden\", \"status\": \"OK\"}]},\n"
+      "    \"refutation\": {\"label\": \"eps=0.1\", \"holds\": false, "
+      "\"value\": 0.5, \"threshold\": 0.95, \"cells\": []},\n"
+      "    \"verdict\": \"parameter-artifact\"\n"
+      "  }\n"
+      "  ],\n"
+      "  \"counts\": {\"replicates\": 0, \"refuted\": 0, "
+      "\"parameter_artifact\": 1}\n"
+      "}\n";
+  EXPECT_EQ(VerdictJson(config, claims), expected_json);
+
+  const std::string expected_tsv =
+      "claim\tverdict\tbenchmark_label\tbenchmark_value\tbenchmark_holds"
+      "\trefutation_label\trefutation_value\trefutation_holds\n"
+      "sample-claim\tparameter-artifact\teps=0.5\t0.975\tyes"
+      "\teps=0.1\t0.5\tno\n";
+  EXPECT_EQ(VerdictTsv(claims), expected_tsv);
+}
+
+TEST(RefutationTest, SuiteIsDeterministicForAFixedSeed) {
+  const RefutationConfig config = TinyConfig();
+  const std::string first = RunSuiteJson(TinyOptions(), config);
+  const std::string second = RunSuiteJson(TinyOptions(), config);
+  EXPECT_EQ(first, second);
+  // Sanity: all six claims made it into the table.
+  EXPECT_NE(first.find("\"imm-epsilon-matches-celf\""), std::string::npos);
+  EXPECT_NE(first.find("\"celf-reaches-exact-optimum\""), std::string::npos);
+}
+
+TEST(RefutationTest, JournalResumeWithMalformedLinesReproducesTable) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/refutations_journal.tsv";
+  std::remove(path.c_str());
+  const RefutationConfig config = TinyConfig();
+  WorkbenchOptions options = TinyOptions();
+  options.journal_path = path;
+
+  const std::string fresh = RunSuiteJson(options, config);
+
+  // Pollute the journal the way a crash mid-append or a hand edit would:
+  // a truncated record, a field-count mismatch, plain garbage and a blank
+  // line. The lenient parser must skip them all and keep every valid line.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "CELF/neth\n"
+        << "half\ta\trecord\t1.5\n"
+        << "complete garbage without structure\n"
+        << "\n";
+  }
+  const std::string resumed = RunSuiteJson(options, config);
+  EXPECT_EQ(resumed, fresh);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imbench

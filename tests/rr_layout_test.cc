@@ -202,6 +202,50 @@ TEST(RrLayoutTest, KBeyondLiveNodesPadsDeterministically) {
   EXPECT_DOUBLE_EQ(fraction, 1.0);
 }
 
+TEST(RrLayoutTest, PrefixLimitZeroDegradesToPadOrder) {
+  // A zero-set prefix covers nothing, so the cover must degrade to the
+  // PadSeeds order {0, 1, 2} — not pick by whole-corpus degree. (This
+  // regressed silently before PrefixDegree short-circuited limit == 0: the
+  // upper_bound probe wrapped limit - 1 to UINT32_MAX and reported full
+  // degrees, so node 5 was "best" despite the empty prefix.)
+  RrCollection c(8);
+  c.Add({5, 6});
+  c.Add({5});
+  double fraction = 1.0;
+  const std::vector<NodeId> seeds = c.GreedyMaxCoverPrefix(3, 0, &fraction);
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(fraction, 0.0);
+  // k = 0 on the empty prefix is a full no-op.
+  fraction = 1.0;
+  EXPECT_TRUE(c.GreedyMaxCoverPrefix(0, 0, &fraction).empty());
+  EXPECT_DOUBLE_EQ(fraction, 0.0);
+}
+
+TEST(RrLayoutTest, PrefixLimitedCoverEdgeCasesMatchAcrossEngines) {
+  // Alternating {10} / {11} singleton sets: both nodes tie on degree in
+  // every even-sized prefix, so the first pick exercises the (max degree,
+  // largest node id) tie-break identically on the lazy-heap path (small
+  // limit) and the degree-bucket path (limit >= the 4096-set threshold);
+  // k = 5 > 2 live nodes exercises the pad tail under a prefix limit.
+  constexpr NodeId kNodes = 16;
+  RrCollection c(kNodes);
+  for (int i = 0; i < 5000; ++i) {
+    c.Add(i % 2 == 0 ? std::vector<NodeId>{10} : std::vector<NodeId>{11});
+  }
+  const std::vector<NodeId> expected = {11, 10, 0, 1, 2};
+  for (const size_t limit : {size_t{100}, size_t{5000}}) {
+    double fraction = -1;
+    EXPECT_EQ(c.GreedyMaxCoverPrefix(5, limit, &fraction), expected)
+        << "limit=" << limit;
+    EXPECT_DOUBLE_EQ(fraction, 1.0) << "limit=" << limit;
+    // k = 0 under the same prefix: no picks, nothing covered.
+    fraction = -1;
+    EXPECT_TRUE(c.GreedyMaxCoverPrefix(0, limit, &fraction).empty())
+        << "limit=" << limit;
+    EXPECT_DOUBLE_EQ(fraction, 0.0) << "limit=" << limit;
+  }
+}
+
 TEST(RrLayoutTest, ReserveDoesNotChangeObservableState) {
   const Graph g = testutil::TwoStars(0.5);
   RrCollection plain(g.num_nodes());

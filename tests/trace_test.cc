@@ -101,7 +101,9 @@ TEST(TraceTest, JsonGoldenDeterministicDocument) {
     "rr_sets_repaired": 0,
     "rr_sets_reused": 0,
     "corpus_epochs": 0,
-    "fused_blocks": 0
+    "fused_blocks": 0,
+    "bnb_nodes_expanded": 0,
+    "bnb_pruned": 0
   },
   "phases": [
     {"name": "sample", "parent": -1, "depth": 0, "counters": {"rr_sets": 3, "rr_edges_examined": 17}},
