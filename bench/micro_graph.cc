@@ -1,10 +1,18 @@
 // Micro benchmarks for the graph substrate: generators, CSR construction,
-// weight assignment, SCC decomposition.
+// weight assignment, SCC decomposition, and the compact (mmap'd `.imgrf`)
+// backend: compressed-decode throughput against the raw CSR scan, plus
+// cold-vs-warm page-in ablations (DropPages between iterations).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "framework/datasets.h"
+#include "graph/compact_graph.h"
 #include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "graph/graph_view.h"
 #include "graph/scc.h"
 #include "graph/weights.h"
 
@@ -72,6 +80,106 @@ void BM_Scc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Scc);
+
+// Shared fixture for the compact-backend benchmarks: one weighted graph
+// and its `.imgrf` image, built once for the whole binary.
+struct CompactFixture {
+  Graph graph;
+  CompactGraph compact;
+  std::string path;
+
+  CompactFixture() {
+    // BA-100K x 8: ~800K edges, a ~10 MB mapping — big enough that the
+    // cold-page ablation actually faults thousands of pages per sweep.
+    Rng rng(7);
+    EdgeList list = BarabasiAlbert(100000, 8, rng);
+    graph = Graph::FromArcs(list.num_nodes, std::move(list.arcs));
+    AssignWeightedCascade(graph);
+    path = "/tmp/micro_graph_fixture.imgrf";
+    std::string error;
+    if (!WriteGraphFile(graph, WeightModel::kWc, path, &error) ||
+        CompactGraph::Open(path, &compact, &error) != GraphFileStatus::kOk) {
+      std::fprintf(stderr, "micro_graph: compact fixture failed: %s\n",
+                   error.c_str());
+      std::abort();
+    }
+  }
+  ~CompactFixture() { std::remove(path.c_str()); }
+};
+
+CompactFixture& Fixture() {
+  static CompactFixture fixture;
+  return fixture;
+}
+
+// Full out-adjacency sweep through a GraphView; the accumulator keeps the
+// decode from being optimized away and is identical for both backends so
+// the two timings are directly comparable.
+uint64_t SweepOutAdjacency(const GraphView& view, AdjScratch& scratch) {
+  uint64_t acc = 0;
+  for (NodeId u = 0; u < view.num_nodes(); ++u) {
+    const AdjView adj = view.Out(u, scratch);
+    for (const NodeId v : adj.nodes) acc += v;
+    for (const double w : adj.weights) acc += static_cast<uint64_t>(w * 64);
+  }
+  return acc;
+}
+
+// Baseline: raw CSR span scan (what the in-memory fast path costs).
+void BM_ScanCsrOutAdjacency(benchmark::State& state) {
+  const GraphView view(Fixture().graph);
+  AdjScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SweepOutAdjacency(view, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().graph.num_edges()));
+}
+BENCHMARK(BM_ScanCsrOutAdjacency);
+
+// Compressed-decode throughput: same sweep, varint blocks decoded into
+// scratch (pages warm after the first iteration).
+void BM_DecodeCompactOutAdjacency(benchmark::State& state) {
+  const GraphView view(Fixture().compact);
+  AdjScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SweepOutAdjacency(view, scratch));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<int64_t>(Fixture().compact.num_edges()));
+}
+BENCHMARK(BM_DecodeCompactOutAdjacency);
+
+// Warm page-in: the mapping stays resident across iterations, so this is
+// pure decode + page-table hits.
+void BM_CompactSweepWarmPages(benchmark::State& state) {
+  const GraphView view(Fixture().compact);
+  AdjScratch scratch;
+  benchmark::DoNotOptimize(SweepOutAdjacency(view, scratch));  // prefault
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SweepOutAdjacency(view, scratch));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().compact.MappedBytes()));
+}
+BENCHMARK(BM_CompactSweepWarmPages);
+
+// Cold page-in: resident pages are dropped before every iteration, so each
+// sweep re-faults the whole mapping (page-cache-backed minor faults; true
+// disk reads depend on the OS cache, which the bench does not flush).
+void BM_CompactSweepColdPages(benchmark::State& state) {
+  const GraphView view(Fixture().compact);
+  AdjScratch scratch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture().compact.DropPages();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(SweepOutAdjacency(view, scratch));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(Fixture().compact.MappedBytes()));
+}
+BENCHMARK(BM_CompactSweepColdPages);
 
 }  // namespace
 }  // namespace imbench

@@ -20,7 +20,7 @@ std::vector<NodeId> RankByScore(const std::vector<double>& score) {
 }
 
 SelectionResult DegreeHeuristic::Select(const SelectionInput& input) {
-  const Graph& graph = *input.graph;
+  const GraphView graph = input.View();
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   Span select_span(input.trace, "select");
   std::vector<double> score(graph.num_nodes());
@@ -34,7 +34,8 @@ SelectionResult DegreeHeuristic::Select(const SelectionInput& input) {
 }
 
 SelectionResult DegreeDiscount::Select(const SelectionInput& input) {
-  const Graph& graph = *input.graph;
+  const GraphView graph = input.View();
+  AdjScratch scratch;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   const NodeId n = graph.num_nodes();
   std::vector<double> discounted(n);
@@ -59,7 +60,7 @@ SelectionResult DegreeDiscount::Select(const SelectionInput& input) {
     is_seed[best] = 1;
     result.seeds.push_back(best);
     // Discount the out-neighbors of the new seed.
-    for (const NodeId u : graph.OutTargets(best)) {
+    for (const NodeId u : graph.OutTargets(best, scratch)) {
       if (is_seed[u]) continue;
       const double d = graph.OutDegree(u);
       const double t = ++selected_neighbors[u];
@@ -71,7 +72,8 @@ SelectionResult DegreeDiscount::Select(const SelectionInput& input) {
 }
 
 SelectionResult PageRankHeuristic::Select(const SelectionInput& input) {
-  const Graph& graph = *input.graph;
+  const GraphView graph = input.View();
+  AdjScratch scratch;
   IMBENCH_CHECK(input.k <= graph.num_nodes());
   const NodeId n = graph.num_nodes();
   std::vector<double> rank(n, 1.0 / n);
@@ -89,7 +91,7 @@ SelectionResult PageRankHeuristic::Select(const SelectionInput& input) {
       // Reverse-graph PageRank: v's rank flows to its *in*-neighbors, so a
       // node pointed at by walks along reversed edges — i.e. a source of
       // influence — accumulates rank.
-      const auto sources = graph.InSources(v);
+      const auto sources = graph.InSources(v, scratch);
       if (sources.empty()) {
         dangling += rank[v];
         continue;

@@ -18,7 +18,7 @@ double LogChoose(double n, double k) {
 }  // namespace
 
 SelectionResult Imm::Select(const SelectionInput& input) {
-  const Graph& graph = *input.graph;
+  const GraphView graph = input.View();
   const double n = static_cast<double>(graph.num_nodes());
   const uint32_t k = input.k;
   IMBENCH_CHECK(k >= 1 && k <= graph.num_nodes());

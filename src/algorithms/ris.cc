@@ -9,7 +9,7 @@
 namespace imbench {
 
 SelectionResult Ris::Select(const SelectionInput& input) {
-  const Graph& graph = *input.graph;
+  const GraphView graph = input.View();
   IMBENCH_CHECK(input.k >= 1 && input.k <= graph.num_nodes());
 
   SamplerOptions sampler_options;

@@ -19,7 +19,7 @@ double LogChoose(double n, double k) {
 }  // namespace
 
 SelectionResult TimPlus::Select(const SelectionInput& input) {
-  const Graph& graph = *input.graph;
+  const GraphView graph = input.View();
   const double n = static_cast<double>(graph.num_nodes());
   const double m = static_cast<double>(graph.num_edges());
   const uint32_t k = input.k;

@@ -1,6 +1,14 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace imbench {
 namespace {
@@ -9,9 +17,77 @@ namespace {
 // ParallelFor detect re-entrant use and fall back to an inline loop.
 thread_local const ThreadPool* t_current_pool = nullptr;
 
+// Parses a sysfs cpulist ("0-3,8,10-11\n") into CPU ids. Malformed input
+// yields the prefix parsed so far — topology discovery is best-effort.
+std::vector<int> ParseCpuList(const char* text) {
+  std::vector<int> cpus;
+  const char* p = text;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long lo = std::strtol(p, &end, 10);
+    if (end == p || lo < 0) break;
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtol(p, &end, 10);
+      if (end == p || hi < lo) break;
+      p = end;
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    if (*p == ',') ++p;
+  }
+  return cpus;
+}
+
+NumaTopology ReadNumaTopology() {
+  NumaTopology topo;
+  for (int node = 0;; ++node) {
+    char path[96];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpulist", node);
+    FILE* f = std::fopen(path, "r");
+    if (f == nullptr) break;
+    char buf[4096];
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    std::vector<int> cpus = ParseCpuList(buf);
+    // Memory-only domains (CXL expanders, empty cpulist) have no CPUs to
+    // pin to; skip them so the round-robin never lands on an empty set.
+    if (!cpus.empty()) topo.cpus_per_domain.push_back(std::move(cpus));
+  }
+  if (topo.cpus_per_domain.empty()) topo.cpus_per_domain.emplace_back();
+  return topo;
+}
+
+// Pins `thread` to the CPUs of one NUMA domain; returns false when the
+// platform has no affinity API or the syscall is refused (cgroup cpusets).
+bool PinToDomain([[maybe_unused]] std::thread& thread,
+                 [[maybe_unused]] const std::vector<int>& cpus) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  if (CPU_COUNT(&set) == 0) return false;
+  return pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(uint32_t workers) {
+const NumaTopology& SystemNumaTopology() {
+  static const NumaTopology* topology =
+      new NumaTopology(ReadNumaTopology());
+  return *topology;
+}
+
+ThreadPool::ThreadPool(uint32_t workers, bool numa_pin) {
   queues_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -20,6 +96,22 @@ ThreadPool::ThreadPool(uint32_t workers) {
   for (uint32_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  if (!numa_pin || workers == 0) return;
+  const NumaTopology& topo = SystemNumaTopology();
+  const uint32_t domains =
+      std::min<uint32_t>(topo.domain_count(), workers);
+  if (domains <= 1) return;  // single domain: pinning buys nothing
+  // Round-robin over domains; pinning is applied to already-running
+  // threads, which is safe (the scheduler migrates them at the next
+  // dispatch) and keeps the spawn path identical to the unpinned one.
+  bool all_pinned = true;
+  for (uint32_t i = 0; i < workers; ++i) {
+    all_pinned &= PinToDomain(workers_[i], topo.cpus_per_domain[i % domains]);
+  }
+  // Report the spread only when every pin landed: a half-pinned pool still
+  // works, but claiming a NUMA spread it doesn't have would mislead bench
+  // annotations.
+  if (all_pinned) numa_domains_used_ = domains;
 }
 
 ThreadPool::~ThreadPool() {
@@ -135,7 +227,8 @@ void ThreadPool::ParallelFor(
 
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* pool =
-      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()) - 1);
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()) - 1,
+                     /*numa_pin=*/true);
   return *pool;
 }
 

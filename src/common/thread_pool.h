@@ -30,11 +30,31 @@
 
 namespace imbench {
 
+// NUMA topology snapshot parsed once from /sys/devices/system/node. On
+// non-Linux systems, or machines without that sysfs tree, the topology is
+// one implicit domain and worker pinning degrades to a no-op.
+struct NumaTopology {
+  // cpus_per_domain[d] lists the logical CPUs of NUMA domain d, ascending.
+  std::vector<std::vector<int>> cpus_per_domain;
+  uint32_t domain_count() const {
+    return static_cast<uint32_t>(cpus_per_domain.size());
+  }
+};
+const NumaTopology& SystemNumaTopology();
+
 class ThreadPool {
  public:
   // Spawns `workers` threads. Zero workers is valid: Submit() and
   // ParallelFor() then run everything inline on the caller.
-  explicit ThreadPool(uint32_t workers);
+  //
+  // With numa_pin set (and >1 NUMA domain visible) workers are pinned
+  // round-robin across domains: worker i may run on any CPU of domain
+  // i % domains. Combined with the engines' lazily-allocated per-lane
+  // scratch (first touched by the worker that owns it) this keeps each
+  // lane's stamp arrays and decode buffers on its own domain's memory.
+  // Pinning is best-effort and never affects results — determinism is the
+  // callers' index-keyed contract, not the scheduler's.
+  explicit ThreadPool(uint32_t workers, bool numa_pin = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -43,6 +63,10 @@ class ThreadPool {
   uint32_t worker_count() const {
     return static_cast<uint32_t>(workers_.size());
   }
+
+  // NUMA domains the workers were actually spread over: 1 unless pinning
+  // was requested, >1 domain is visible, and pinning succeeded.
+  uint32_t numa_domains_used() const { return numa_domains_used_; }
 
   // Enqueues one task for any worker (runs inline when there are none).
   void Submit(std::function<void()> task);
@@ -75,6 +99,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  uint32_t numa_domains_used_ = 1;
   std::atomic<uint64_t> submit_cursor_{0};
   std::atomic<int64_t> pending_{0};
   std::mutex wake_mutex_;

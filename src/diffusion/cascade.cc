@@ -29,7 +29,7 @@ void CascadeContext::ClearBlocked() {
   std::fill(blocked_.begin(), blocked_.end(), 0);
 }
 
-NodeId CascadeContext::Simulate(const Graph& graph, DiffusionKind kind,
+NodeId CascadeContext::Simulate(const GraphView& graph, DiffusionKind kind,
                                 std::span<const NodeId> seeds, Rng& rng) {
   IMBENCH_CHECK(graph.num_nodes() == active_stamp_.size());
   ++epoch_;
@@ -37,13 +37,13 @@ NodeId CascadeContext::Simulate(const Graph& graph, DiffusionKind kind,
   return Run(graph, kind, seeds, 0, rng);
 }
 
-NodeId CascadeContext::Continue(const Graph& graph, DiffusionKind kind,
+NodeId CascadeContext::Continue(const GraphView& graph, DiffusionKind kind,
                                 std::span<const NodeId> extra_seeds,
                                 Rng& rng) {
   return Run(graph, kind, extra_seeds, active_.size(), rng);
 }
 
-NodeId CascadeContext::Run(const Graph& graph, DiffusionKind kind,
+NodeId CascadeContext::Run(const GraphView& graph, DiffusionKind kind,
                            std::span<const NodeId> seeds, size_t resume_head,
                            Rng& rng) {
   for (const NodeId s : seeds) {
@@ -57,8 +57,7 @@ NodeId CascadeContext::Run(const Graph& graph, DiffusionKind kind,
     // each neighbor (Definition 4).
     for (size_t head = resume_head; head < active_.size(); ++head) {
       const NodeId u = active_[head];
-      const auto targets = graph.OutTargets(u);
-      const auto weights = graph.OutWeights(u);
+      const auto [targets, weights] = graph.Out(u, scratch_);
       for (size_t i = 0; i < targets.size(); ++i) {
         const NodeId v = targets[i];
         if (active_stamp_[v] == epoch_ || blocked_[v]) continue;
@@ -74,8 +73,7 @@ NodeId CascadeContext::Run(const Graph& graph, DiffusionKind kind,
     // persists within the epoch, so Continue() composes correctly.
     for (size_t head = resume_head; head < active_.size(); ++head) {
       const NodeId u = active_[head];
-      const auto targets = graph.OutTargets(u);
-      const auto weights = graph.OutWeights(u);
+      const auto [targets, weights] = graph.Out(u, scratch_);
       for (size_t i = 0; i < targets.size(); ++i) {
         const NodeId v = targets[i];
         if (active_stamp_[v] == epoch_ || blocked_[v]) continue;

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace imbench {
 
@@ -31,7 +31,10 @@ class CascadeContext {
   // Runs one cascade from `seeds` and returns Γ(S), the number of active
   // nodes including the seeds (Definition 6). Nodes in `blocked` epochs are
   // never counted nor spread (used by greedy marginal-gain evaluation).
-  NodeId Simulate(const Graph& graph, DiffusionKind kind,
+  // `graph` may be either backend (GraphView converts implicitly from
+  // Graph); the compact path decodes each frontier node's out-block into
+  // this context's scratch.
+  NodeId Simulate(const GraphView& graph, DiffusionKind kind,
                   std::span<const NodeId> seeds, Rng& rng);
 
   // The nodes activated by the most recent Simulate() call, seeds first.
@@ -44,8 +47,16 @@ class CascadeContext {
   // LT threshold/accumulator state is preserved within the epoch. Used by
   // CELF++ to estimate σ(S∪{v}) and σ(S∪{v}∪{cur_best}) from one batch of
   // simulations.
-  NodeId Continue(const Graph& graph, DiffusionKind kind,
+  NodeId Continue(const GraphView& graph, DiffusionKind kind,
                   std::span<const NodeId> extra_seeds, Rng& rng);
+
+  // Compressed blocks decoded since the last call; flushed to the trace at
+  // sequential estimator sites only (thread-count invariance).
+  uint64_t TakeBlocksDecoded() {
+    const uint64_t n = scratch_.blocks_decoded;
+    scratch_.blocks_decoded = 0;
+    return n;
+  }
 
   // Marks `node` as permanently inactive for subsequent Simulate() calls
   // until ClearBlocked(); blocked nodes cannot be activated or activate
@@ -58,7 +69,7 @@ class CascadeContext {
 
   // Enqueues not-yet-active seeds and drains the BFS queue from
   // `resume_head`, returning the total active count.
-  NodeId Run(const Graph& graph, DiffusionKind kind,
+  NodeId Run(const GraphView& graph, DiffusionKind kind,
              std::span<const NodeId> seeds, size_t resume_head, Rng& rng);
 
   uint32_t epoch_ = 0;
@@ -68,6 +79,7 @@ class CascadeContext {
   std::vector<double> accumulated_;      // LT: sum of active in-weights
   std::vector<NodeId> active_;           // BFS queue == active set
   std::vector<uint8_t> blocked_;
+  AdjScratch scratch_;                   // compact-backend decode buffer
 };
 
 }  // namespace imbench

@@ -88,7 +88,7 @@ uint64_t LaneMask(uint32_t lanes) {
 
 }  // namespace
 
-FusedCascadeContext::FusedCascadeContext(const Graph& graph)
+FusedCascadeContext::FusedCascadeContext(const GraphView& graph)
     : graph_(graph),
       p_fix_(FixedPointProbs(graph.weights())),
       active_word_(graph.num_nodes(), 0),
@@ -146,15 +146,13 @@ void FusedCascadeContext::RunBlockIc(std::span<const NodeId> seeds,
   for (const NodeId s : seeds) {
     if (active_word_[s] == 0) Activate(s, lane_mask);
   }
-  const double* weight_base = graph_.weights().data();
   for (size_t head = 0; head < queue_.size(); ++head) {
     const NodeId u = queue_[head];
     const uint64_t frontier = pending_word_[u];
     pending_word_[u] = 0;
-    const std::span<const NodeId> targets = graph_.OutTargets(u);
+    const std::span<const NodeId> targets = graph_.OutTargets(u, out_scratch_);
     if (targets.empty()) continue;
-    const size_t base =
-        static_cast<size_t>(graph_.OutWeights(u).data() - weight_base);
+    const size_t base = static_cast<size_t>(graph_.OutEdgeBase(u));
     if (mask_stamp_[u] != epoch_) {
       mask_stamp_[u] = epoch_;
       CoinStream stream(block_seed, u);
@@ -197,12 +195,11 @@ void FusedCascadeContext::RunBlockLt(std::span<const NodeId> seeds,
     const NodeId u = queue_[head];
     const uint64_t frontier = pending_word_[u];
     pending_word_[u] = 0;
-    for (const NodeId v : graph_.OutTargets(u)) {
+    for (const NodeId v : graph_.OutTargets(u, out_scratch_)) {
       uint64_t contact = frontier & ~active_word_[v];
       if (contact == 0) continue;
       const double* thresholds = LtThresholds(v, block_seed);
-      const std::span<const NodeId> sources = graph_.InSources(v);
-      const std::span<const double> in_weights = graph_.InWeights(v);
+      const auto [sources, in_weights] = graph_.In(v, in_scratch_);
       uint64_t newly = 0;
       uint64_t remaining = contact;
       while (remaining != 0) {
@@ -225,7 +222,7 @@ void FusedCascadeContext::RunBlockLt(std::span<const NodeId> seeds,
   }
 }
 
-NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
+NodeId FusedScalarReplay(const GraphView& graph, DiffusionKind kind,
                          std::span<const NodeId> seeds, uint64_t seed,
                          uint64_t index) {
   const uint64_t block_seed =
@@ -233,6 +230,8 @@ NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
   const int lane = static_cast<int>(index % kFusedLanes);
   std::vector<uint8_t> active(graph.num_nodes(), 0);
   std::vector<NodeId> queue;
+  AdjScratch out_scratch;
+  AdjScratch in_scratch;
   for (const NodeId s : seeds) {
     if (active[s] == 0) {
       active[s] = 1;
@@ -243,9 +242,8 @@ NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
   if (kind == DiffusionKind::kIndependentCascade) {
     for (size_t head = 0; head < queue.size(); ++head) {
       const NodeId u = queue[head];
-      const std::span<const NodeId> targets = graph.OutTargets(u);
+      const auto [targets, weights] = graph.Out(u, out_scratch);
       if (targets.empty()) continue;
-      const std::span<const double> weights = graph.OutWeights(u);
       CoinStream stream(block_seed, u);
       for (size_t i = 0; i < targets.size(); ++i) {
         const uint64_t mask = CoinMask(FixedPointProb(weights[i]), stream);
@@ -262,7 +260,7 @@ NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
     std::vector<uint8_t> threshold_done(graph.num_nodes(), 0);
     for (size_t head = 0; head < queue.size(); ++head) {
       const NodeId u = queue[head];
-      for (const NodeId v : graph.OutTargets(u)) {
+      for (const NodeId v : graph.OutTargets(u, out_scratch)) {
         if (active[v] != 0) continue;
         if (threshold_done[v] == 0) {
           threshold_done[v] = 1;
@@ -271,8 +269,7 @@ NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
           for (int j = 0; j <= lane; ++j) draw = rng.NextDouble();
           threshold[v] = draw;
         }
-        const std::span<const NodeId> sources = graph.InSources(v);
-        const std::span<const double> in_weights = graph.InWeights(v);
+        const auto [sources, in_weights] = graph.In(v, in_scratch);
         double sum = 0;
         for (size_t e = 0; e < sources.size(); ++e) {
           if (active[sources[e]] != 0) sum += in_weights[e];
@@ -288,7 +285,7 @@ NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
   return count;
 }
 
-FusedRrContext::FusedRrContext(const Graph& graph)
+FusedRrContext::FusedRrContext(const GraphView& graph)
     : graph_(graph),
       active_word_(graph.num_nodes(), 0),
       pending_word_(graph.num_nodes(), 0),
@@ -298,7 +295,8 @@ FusedRrContext::FusedRrContext(const Graph& graph)
   // so mask generation and lookup are both contiguous scans.
   p_fix_.reserve(graph.num_edges());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    for (const double w : graph.InWeights(v)) {
+    const AdjView in = graph.In(v, in_scratch_);
+    for (const double w : in.weights) {
       p_fix_.push_back(FixedPointProb(w));
     }
   }
@@ -350,14 +348,13 @@ void FusedRrContext::RunBlock(uint64_t seed, uint64_t block,
     if (pending_word_[root] == 0) queue_.push_back(root);
     pending_word_[root] |= bit;
   }
-  const NodeId* in_base = graph_.InSources(0).data();
   for (size_t head = 0; head < queue_.size(); ++head) {
     const NodeId v = queue_[head];
     const uint64_t frontier = pending_word_[v];
     pending_word_[v] = 0;
-    const std::span<const NodeId> sources = graph_.InSources(v);
+    const std::span<const NodeId> sources = graph_.InSources(v, in_scratch_);
     if (sources.empty()) continue;
-    const size_t base = static_cast<size_t>(sources.data() - in_base);
+    const size_t base = static_cast<size_t>(graph_.InEdgeBase(v));
     if (mask_stamp_[v] != epoch_) {
       mask_stamp_[v] = epoch_;
       CoinStream stream(block_seed, v);

@@ -40,7 +40,7 @@
 
 #include "common/rng.h"
 #include "diffusion/cascade.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace imbench {
 
@@ -60,7 +60,7 @@ inline constexpr int kCoinBits = 16;
 // repeated blocks never pay an O(n) clear.
 class FusedCascadeContext {
  public:
-  explicit FusedCascadeContext(const Graph& graph);
+  explicit FusedCascadeContext(const GraphView& graph);
 
   // Runs simulations [block*64, block*64 + lanes) of the ensemble keyed by
   // `seed` and writes Γ(S) of simulation block*64+j to gamma[j] for
@@ -80,8 +80,12 @@ class FusedCascadeContext {
   void Activate(NodeId v, uint64_t bits);
   const double* LtThresholds(NodeId v, uint64_t block_seed);
 
-  const Graph& graph_;
+  GraphView graph_;
   std::vector<uint32_t> p_fix_;  // per forward edge id, kCoinBits fixed point
+  // Decode buffers for the compact backend. LT holds u's out-adjacency
+  // while scanning each contacted v's in-adjacency, hence two scratches.
+  AdjScratch out_scratch_;
+  AdjScratch in_scratch_;
 
   uint32_t epoch_ = 0;
   // Invariant between blocks: every word is zero (restored by an
@@ -104,7 +108,7 @@ class FusedCascadeContext {
 // Returns Γ(S) for simulation `index`; bit-for-bit equal to lane index%64
 // of FusedCascadeContext::RunBlock(..., index/64, ...). This is the
 // differential anchor for the fused kernels (tests/fused_cascade_test.cc).
-NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
+NodeId FusedScalarReplay(const GraphView& graph, DiffusionKind kind,
                          std::span<const NodeId> seeds, uint64_t seed,
                          uint64_t index);
 
@@ -113,7 +117,7 @@ NodeId FusedScalarReplay(const Graph& graph, DiffusionKind kind,
 // selects the fused kernel.
 class FusedRrContext {
  public:
-  explicit FusedRrContext(const Graph& graph);
+  explicit FusedRrContext(const GraphView& graph);
 
   // Generates RR sets for stream indices [first, first+count), appending
   // each set's members (root first, then the rest ascending by node id —
@@ -135,8 +139,9 @@ class FusedRrContext {
                 uint32_t lane_count, std::vector<NodeId>& members,
                 std::vector<uint32_t>& sizes, std::vector<uint64_t>* widths);
 
-  const Graph& graph_;
+  GraphView graph_;
   std::vector<uint32_t> p_fix_;  // per in-edge position, kCoinBits fixed pt
+  AdjScratch in_scratch_;        // compact-backend decode buffer
 
   uint32_t epoch_ = 0;
   // Same zero-between-blocks word invariant as FusedCascadeContext.

@@ -9,7 +9,7 @@
 
 namespace imbench {
 
-ParallelRrSampler::ParallelRrSampler(const Graph& graph,
+ParallelRrSampler::ParallelRrSampler(const GraphView& graph,
                                      const SamplerOptions& options)
     : graph_(graph),
       options_(options),

@@ -24,19 +24,16 @@ constexpr size_t kDegreeBucketThreshold = 4096;
 
 }  // namespace
 
-RrSampler::RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard)
-    : graph_(graph),
-      kind_(kind),
-      guard_(guard),
-      visited_stamp_(graph.num_nodes(), 0) {}
+RrSampler::RrSampler(const GraphView& graph, DiffusionKind kind,
+                     RunGuard* guard)
+    : graph_(graph), kind_(kind), guard_(guard) {}
 
-RrSampler::RrSampler(const Graph& graph, const SamplerOptions& options)
+RrSampler::RrSampler(const GraphView& graph, const SamplerOptions& options)
     : graph_(graph),
       kind_(options.kind),
       guard_(options.guard),
       trace_(options.trace),
       max_total_entries_(options.max_total_entries),
-      visited_stamp_(graph.num_nodes(), 0),
       // kAuto stays scalar for RR generation; the fused kernel is opt-in
       // and IC-only (see SamplerOptions::engine).
       use_fused_(options.engine == McEngine::kFused64 &&
@@ -51,6 +48,7 @@ uint64_t RrSampler::Generate(Rng& rng, std::vector<NodeId>& out) {
 uint64_t RrSampler::GenerateFromRoot(NodeId root, Rng& rng,
                                      std::vector<NodeId>& out) {
   out.clear();
+  EnsureStamps();
   ++epoch_;
   switch (kind_) {
     case DiffusionKind::kIndependentCascade:
@@ -72,6 +70,7 @@ uint64_t RrSampler::GenerateStreamInto(uint64_t seed, uint64_t index,
   Rng rng = Rng::ForStream(seed, index);
   const NodeId root = rng.NextU32(graph_.num_nodes());
   const size_t base = buffer.size();
+  EnsureStamps();
   ++epoch_;
   switch (kind_) {
     case DiffusionKind::kIndependentCascade:
@@ -133,6 +132,11 @@ RrBatchResult RrSampler::Generate(uint64_t seed, uint64_t count,
     result.stop = guard_->reason();
   }
   TraceAdd(trace_, TraceCounter::kRrEdgesExamined, edges_examined);
+  // Batched Generate is a coordinating site: lane samplers run with a null
+  // trace, so only this sequential flush reaches the counter and the total
+  // stays thread-count invariant.
+  TraceAdd(trace_, TraceCounter::kNeighborBlocksDecoded,
+           std::exchange(scratch_.blocks_decoded, 0));
   return result;
 }
 
@@ -205,8 +209,7 @@ uint64_t RrSampler::GenerateIc(NodeId root, Rng& rng, std::vector<NodeId>& out,
   for (size_t head = base; head < out.size(); ++head) {
     if (PollStop()) break;  // truncated set: run is draining
     const NodeId v = out[head];
-    const auto sources = graph_.InSources(v);
-    const auto weights = graph_.InWeights(v);
+    const auto [sources, weights] = graph_.In(v, scratch_);
     edges_examined += sources.size();
     for (size_t i = 0; i < sources.size(); ++i) {
       const NodeId u = sources[i];
@@ -231,8 +234,7 @@ uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out,
   out.push_back(root);
   NodeId v = root;
   while (!PollStop()) {
-    const auto sources = graph_.InSources(v);
-    const auto weights = graph_.InWeights(v);
+    const auto [sources, weights] = graph_.In(v, scratch_);
     if (sources.empty()) break;
     edges_examined += sources.size();
     double r = rng.NextDouble();
@@ -253,7 +255,7 @@ uint64_t RrSampler::GenerateLt(NodeId root, Rng& rng, std::vector<NodeId>& out,
   return edges_examined;
 }
 
-std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
+std::unique_ptr<RrEngine> MakeRrEngine(const GraphView& graph,
                                        const SamplerOptions& options) {
   const uint32_t threads = EffectiveThreads(options.threads);
   ThreadPool& pool =

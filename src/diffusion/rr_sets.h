@@ -31,7 +31,7 @@
 #include "diffusion/cascade.h"
 #include "diffusion/mc_engine.h"
 #include "framework/run_guard.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace imbench {
 
@@ -112,12 +112,13 @@ class RrEngine {
 // scratch through the legacy Generate(Rng&, out) entry points.
 class RrSampler : public RrEngine {
  public:
-  RrSampler(const Graph& graph, DiffusionKind kind, RunGuard* guard = nullptr);
+  RrSampler(const GraphView& graph, DiffusionKind kind,
+            RunGuard* guard = nullptr);
   // SamplerOptions constructor; `threads` and `pool` are ignored (this is
   // the one-thread engine). `engine` selects the batched-generation kernel
   // (see SamplerOptions); the single-set entry points below are always
   // scalar.
-  RrSampler(const Graph& graph, const SamplerOptions& options);
+  RrSampler(const GraphView& graph, const SamplerOptions& options);
   ~RrSampler() override;
 
   // Samples an RR set rooted at a uniform random node; appends its members
@@ -175,7 +176,16 @@ class RrSampler : public RrEngine {
   RrBatchResult GenerateFused(uint64_t seed, uint64_t count, RrCollection& out,
                               std::vector<uint64_t>* widths);
 
-  const Graph& graph_;
+  // Allocates the visited-stamp array on first use. Deferred so a lane
+  // sampler's stamp pages are first touched by the worker that will run
+  // it (first-touch NUMA placement under the pinned pool).
+  void EnsureStamps() {
+    if (visited_stamp_.empty() && graph_.num_nodes() > 0) {
+      visited_stamp_.assign(graph_.num_nodes(), 0);
+    }
+  }
+
+  GraphView graph_;
   DiffusionKind kind_;
   RunGuard* guard_;
   Trace* trace_ = nullptr;
@@ -183,7 +193,8 @@ class RrSampler : public RrEngine {
   uint64_t max_total_entries_ = 0;
   uint64_t next_index_ = 0;  // stream cursor for batched generation
   uint32_t epoch_ = 0;
-  std::vector<uint32_t> visited_stamp_;
+  std::vector<uint32_t> visited_stamp_;  // lazily sized (EnsureStamps)
+  AdjScratch scratch_;  // compact-backend in-adjacency decode buffer
   // Fused-path state: lazily constructed kernel scratch plus reusable
   // chunk buffers (cleared per chunk, never reallocated at steady state).
   bool use_fused_ = false;
@@ -196,7 +207,7 @@ class RrSampler : public RrEngine {
 // Picks the engine for the requested thread count: the sequential
 // RrSampler for one thread (or a worker-less pool), ParallelRrSampler
 // otherwise. The single construction point TIM+/IMM/RIS go through.
-std::unique_ptr<RrEngine> MakeRrEngine(const Graph& graph,
+std::unique_ptr<RrEngine> MakeRrEngine(const GraphView& graph,
                                        const SamplerOptions& options);
 
 // A corpus of RR sets stored in flat append-only arenas (CSR layout, the

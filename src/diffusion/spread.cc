@@ -34,7 +34,7 @@ SpreadEstimate Aggregate(const std::vector<NodeId>& samples) {
   return estimate;
 }
 
-SpreadEstimate EstimateStreaming(const Graph& graph, DiffusionKind kind,
+SpreadEstimate EstimateStreaming(const GraphView& graph, DiffusionKind kind,
                                  std::span<const NodeId> seeds,
                                  const SpreadOptions& options) {
   CascadeContext& context = options.streaming->context();
@@ -45,10 +45,13 @@ SpreadEstimate EstimateStreaming(const Graph& graph, DiffusionKind kind,
     if (GuardShouldStop(options.guard)) break;
     samples.push_back(context.Simulate(graph, kind, seeds, rng));
   }
+  // Sequential site: this context's decode count is thread-invariant.
+  TraceAdd(options.trace, TraceCounter::kNeighborBlocksDecoded,
+           context.TakeBlocksDecoded());
   return Aggregate(samples);
 }
 
-SpreadEstimate EstimateSequential(const Graph& graph, DiffusionKind kind,
+SpreadEstimate EstimateSequential(const GraphView& graph, DiffusionKind kind,
                                   std::span<const NodeId> seeds,
                                   const SpreadOptions& options) {
   CascadeContext context(graph.num_nodes());
@@ -59,10 +62,13 @@ SpreadEstimate EstimateSequential(const Graph& graph, DiffusionKind kind,
     Rng rng = Rng::ForStream(options.seed, i);
     samples.push_back(context.Simulate(graph, kind, seeds, rng));
   }
+  // Sequential site: this context's decode count is thread-invariant.
+  TraceAdd(options.trace, TraceCounter::kNeighborBlocksDecoded,
+           context.TakeBlocksDecoded());
   return Aggregate(samples);
 }
 
-SpreadEstimate EstimateParallel(const Graph& graph, DiffusionKind kind,
+SpreadEstimate EstimateParallel(const GraphView& graph, DiffusionKind kind,
                                 std::span<const NodeId> seeds,
                                 const SpreadOptions& options,
                                 ThreadPool& pool, uint32_t lanes) {
@@ -112,7 +118,7 @@ uint32_t BlockLanes(uint64_t block, uint32_t simulations) {
 // The fused engine's unit of work is one 64-simulation block: the guard is
 // polled once per block, and a trip truncates the sample prefix on the
 // block boundary — identically for the sequential and parallel schedules.
-SpreadEstimate EstimateFusedSequential(const Graph& graph, DiffusionKind kind,
+SpreadEstimate EstimateFusedSequential(const GraphView& graph, DiffusionKind kind,
                                        std::span<const NodeId> seeds,
                                        const SpreadOptions& options,
                                        uint64_t* completed_blocks) {
@@ -133,7 +139,7 @@ SpreadEstimate EstimateFusedSequential(const Graph& graph, DiffusionKind kind,
   return Aggregate(samples);
 }
 
-SpreadEstimate EstimateFusedParallel(const Graph& graph, DiffusionKind kind,
+SpreadEstimate EstimateFusedParallel(const GraphView& graph, DiffusionKind kind,
                                      std::span<const NodeId> seeds,
                                      const SpreadOptions& options,
                                      ThreadPool& pool, uint32_t lanes,
@@ -194,7 +200,7 @@ double SpreadEstimate::StdError() const {
              : stddev / std::sqrt(static_cast<double>(simulations));
 }
 
-SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
+SpreadEstimate EstimateSpread(const GraphView& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               const SpreadOptions& options) {
   // σ(∅) = 0 exactly; skip the r pointless simulations (a cell cancelled

@@ -16,7 +16,7 @@
 #include "common/run_options.h"
 #include "diffusion/cascade.h"
 #include "diffusion/mc_engine.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace imbench {
 
@@ -73,7 +73,8 @@ struct SpreadOptions : CommonRunOptions {
 
 // Runs options.simulations cascades of `seeds` and aggregates Γ(S). An
 // empty seed set short-circuits to a zero estimate (σ(∅) = 0 exactly).
-SpreadEstimate EstimateSpread(const Graph& graph, DiffusionKind kind,
+// `graph` may be either backend (GraphView converts implicitly from Graph).
+SpreadEstimate EstimateSpread(const GraphView& graph, DiffusionKind kind,
                               std::span<const NodeId> seeds,
                               const SpreadOptions& options);
 

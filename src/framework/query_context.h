@@ -16,6 +16,7 @@
 #include "common/run_options.h"
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace imbench {
 
@@ -23,7 +24,20 @@ class RrCollection;
 
 struct QueryContext : CommonRunOptions {
   const Graph* graph = nullptr;
+  // Out-of-core backend (an opened .imgrf mapping): set instead of `graph`
+  // by im_run --graph-file. Only algorithms whose AlgorithmSpec declares
+  // supports_compact run against it; they traverse through View() and
+  // never touch `graph` directly. Exactly one of graph/compact is set.
+  const CompactGraph* compact = nullptr;
   DiffusionKind diffusion = DiffusionKind::kIndependentCascade;
+
+  // The backend-neutral traversal handle (graph/graph_view.h).
+  GraphView View() const {
+    return graph != nullptr ? GraphView(*graph) : GraphView(*compact);
+  }
+  NodeId NumNodes() const {
+    return graph != nullptr ? graph->num_nodes() : compact->num_nodes();
+  }
 
   // Keeps an epoch snapshot alive while the query runs. One-shot callers
   // that own their Graph leave it empty; when set, graph == snapshot.get()

@@ -14,6 +14,7 @@ constexpr const char* kCounterNames[kNumTraceCounters] = {
     "queue_reevaluations", "snapshots", "scoring_rounds", "guard_polls",
     "rr_sets_repaired",    "rr_sets_reused",              "corpus_epochs",
     "fused_blocks",        "bnb_nodes_expanded",          "bnb_pruned",
+    "graph_bytes_mapped",  "neighbor_blocks_decoded",
 };
 
 void AppendEscaped(std::string& out, std::string_view text) {

@@ -54,8 +54,13 @@ enum class TraceCounter : uint8_t {
   kFusedBlocks,         // 64-simulation fused MC blocks completed
   kBnbNodesExpanded,    // branch-and-bound search-tree nodes expanded
   kBnbPruned,           // B&B subtrees pruned by the submodular bound
+  kGraphBytesMapped,    // bytes of .imgrf files mapped (CompactGraph::Open)
+  kNeighborBlocksDecoded,  // compressed 64-neighbor blocks decoded, counted
+                           // at sequential/coordinating sites only (parallel
+                           // lanes drop their counts to keep traces
+                           // thread-count invariant; see graph_view.h)
 };
-inline constexpr int kNumTraceCounters = 14;
+inline constexpr int kNumTraceCounters = 16;
 
 // Short stable identifier used as the JSON key ("rr_sets", ...).
 const char* TraceCounterName(TraceCounter counter);

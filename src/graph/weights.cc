@@ -42,6 +42,17 @@ std::string WeightModelName(WeightModel model) {
   return "?";
 }
 
+bool ParseWeightModel(const std::string& name, WeightModel* model) {
+  if (name == "IC") *model = WeightModel::kIcConstant;
+  else if (name == "WC") *model = WeightModel::kWc;
+  else if (name == "TV") *model = WeightModel::kTrivalency;
+  else if (name == "LT") *model = WeightModel::kLtUniform;
+  else if (name == "LT-random") *model = WeightModel::kLtRandom;
+  else if (name == "LT-P") *model = WeightModel::kLtParallel;
+  else return false;
+  return true;
+}
+
 void AssignConstantWeights(Graph& graph, double p) {
   IMBENCH_CHECK(p >= 0.0 && p <= 1.0);
   std::vector<double> weights(graph.num_edges(), p);

@@ -34,6 +34,10 @@ enum class WeightModel {
 // Short names used in tables: "IC", "WC", "TV", "LT", "LT-random", "LT-P".
 std::string WeightModelName(WeightModel model);
 
+// Inverse of WeightModelName; returns false (leaving *model untouched) for
+// anything but the six table names.
+bool ParseWeightModel(const std::string& name, WeightModel* model);
+
 void AssignConstantWeights(Graph& graph, double p);
 void AssignWeightedCascade(Graph& graph);
 void AssignTrivalency(Graph& graph, Rng& rng);

@@ -19,6 +19,8 @@
 #include "diffusion/rr_sets.h"
 #include "framework/datasets.h"
 #include "framework/run_guard.h"
+#include "graph/compact_graph.h"
+#include "graph/graph_file.h"
 #include "graph/weights.h"
 
 namespace imbench {
@@ -176,6 +178,99 @@ std::vector<NodeId> SeedsWithThreads(const Graph& g, uint32_t threads,
   input.threads = threads;
   input.pool = pool;
   return algorithm.Select(input).seeds;
+}
+
+// --- Backend differential: the mmap'd CompactGraph must be a drop-in
+// replacement for the heap CSR — corpora and seed sets bit-identical for
+// every thread count, per the PR 3 determinism contract.
+
+class BackendDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = WcGraph();
+    path_ = ::testing::TempDir() + "/backend_diff.imgrf";
+    std::string error;
+    ASSERT_TRUE(WriteGraphFile(graph_, WeightModel::kWc, path_, &error))
+        << error;
+    ASSERT_EQ(CompactGraph::Open(path_, &compact_, &error),
+              GraphFileStatus::kOk)
+        << error;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  template <typename Algorithm>
+  std::vector<NodeId> Seeds(bool use_compact, uint32_t threads,
+                            ThreadPool* pool) {
+    Algorithm algorithm({});
+    SelectionInput input;
+    if (use_compact) {
+      input.compact = &compact_;
+    } else {
+      input.graph = &graph_;
+    }
+    input.diffusion = DiffusionKind::kIndependentCascade;
+    input.k = 8;
+    input.seed = 3;
+    input.threads = threads;
+    input.pool = pool;
+    return algorithm.Select(input).seeds;
+  }
+
+  Graph graph_;
+  CompactGraph compact_;
+  std::string path_;
+};
+
+TEST_F(BackendDifferentialTest, SequentialCorpusIdenticalAcrossBackends) {
+  SamplerOptions options;
+  RrSampler on_memory(graph_, options);
+  RrCollection memory_corpus(graph_.num_nodes());
+  std::vector<uint64_t> memory_widths;
+  on_memory.Generate(42, 700, memory_corpus, &memory_widths);
+
+  RrSampler on_compact(compact_, options);
+  RrCollection compact_corpus(compact_.num_nodes());
+  std::vector<uint64_t> compact_widths;
+  on_compact.Generate(42, 700, compact_corpus, &compact_widths);
+
+  EXPECT_EQ(CorpusOf(compact_corpus), CorpusOf(memory_corpus));
+  EXPECT_EQ(compact_widths, memory_widths);
+}
+
+TEST_F(BackendDifferentialTest, LtCorpusIdenticalAcrossBackends) {
+  Graph lt_graph = MakeDataset("nethept", DatasetScale::kTiny);
+  AssignLtUniform(lt_graph);
+  const std::string lt_path = ::testing::TempDir() + "/backend_lt.imgrf";
+  std::string error;
+  ASSERT_TRUE(
+      WriteGraphFile(lt_graph, WeightModel::kLtUniform, lt_path, &error));
+  CompactGraph lt_compact;
+  ASSERT_EQ(CompactGraph::Open(lt_path, &lt_compact, &error),
+            GraphFileStatus::kOk);
+
+  SamplerOptions options;
+  options.kind = DiffusionKind::kLinearThreshold;
+  RrSampler on_memory(lt_graph, options);
+  RrCollection memory_corpus(lt_graph.num_nodes());
+  on_memory.Generate(11, 400, memory_corpus, nullptr);
+  RrSampler on_compact(lt_compact, options);
+  RrCollection compact_corpus(lt_compact.num_nodes());
+  on_compact.Generate(11, 400, compact_corpus, nullptr);
+  EXPECT_EQ(CorpusOf(compact_corpus), CorpusOf(memory_corpus));
+  std::remove(lt_path.c_str());
+}
+
+TEST_F(BackendDifferentialTest, SeedsIdenticalAcrossBackendsAndThreads) {
+  const std::vector<NodeId> tim = Seeds<TimPlus>(false, 1, nullptr);
+  const std::vector<NodeId> imm = Seeds<Imm>(false, 1, nullptr);
+  const std::vector<NodeId> ris = Seeds<Ris>(false, 1, nullptr);
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads - 1);
+    ThreadPool* p = threads == 1 ? nullptr : &pool;
+    EXPECT_EQ(Seeds<TimPlus>(true, threads, p), tim) << threads;
+    EXPECT_EQ(Seeds<Imm>(true, threads, p), imm) << threads;
+    EXPECT_EQ(Seeds<Ris>(true, threads, p), ris) << threads;
+  }
 }
 
 TEST(SamplingDeterminismTest, TimPlusSeedsInvariantUnderThreads) {

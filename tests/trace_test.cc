@@ -103,7 +103,9 @@ TEST(TraceTest, JsonGoldenDeterministicDocument) {
     "corpus_epochs": 0,
     "fused_blocks": 0,
     "bnb_nodes_expanded": 0,
-    "bnb_pruned": 0
+    "bnb_pruned": 0,
+    "graph_bytes_mapped": 0,
+    "neighbor_blocks_decoded": 0
   },
   "phases": [
     {"name": "sample", "parent": -1, "depth": 0, "counters": {"rr_sets": 3, "rr_edges_examined": 17}},

@@ -5,6 +5,13 @@
 //
 //   ./im_run --algorithm=IMM --dataset=youtube --model=WC --k=50
 //   ./im_run --algorithm=LDAG --graph=soc-Epinions1.txt --model=LT --k=100
+//   ./im_run --algorithm=IMM --graph-file=ba100m.imgrf --model=WC --k=50
+//
+// --graph-file runs the RR-set techniques out-of-core: the `.imgrf` is
+// mmap'd (CompactGraph) instead of loaded into a heap CSR, weights come
+// baked from the file, and --mem-budget then caps only the sampling
+// working set. With --keep-going a refused file (torn, truncated, foreign)
+// degrades to the ordinary --graph/--dataset load instead of aborting.
 //
 // With --serve the binary becomes the always-on query engine instead: it
 // opens the graph in an EpochGraphStore, stands up an ImService and
@@ -28,7 +35,9 @@
 #include "framework/registry.h"
 #include "framework/run_guard.h"
 #include "framework/trace.h"
+#include "graph/compact_graph.h"
 #include "graph/edge_list.h"
+#include "graph/graph_view.h"
 #include "graph/weights.h"
 #include "service/epoch_graph_store.h"
 #include "service/im_service.h"
@@ -39,12 +48,8 @@ using namespace imbench;
 namespace {
 
 WeightModel ParseModel(const std::string& name) {
-  if (name == "IC") return WeightModel::kIcConstant;
-  if (name == "WC") return WeightModel::kWc;
-  if (name == "TV") return WeightModel::kTrivalency;
-  if (name == "LT") return WeightModel::kLtUniform;
-  if (name == "LT-random") return WeightModel::kLtRandom;
-  if (name == "LT-P") return WeightModel::kLtParallel;
+  WeightModel model;
+  if (ParseWeightModel(name, &model)) return model;
   std::fprintf(stderr, "unknown model '%s' (IC|WC|TV|LT|LT-random|LT-P)\n",
                name.c_str());
   std::exit(2);
@@ -60,6 +65,10 @@ int main(int argc, char** argv) {
       flags.AddString("dataset", "nethept", "catalog profile name");
   std::string* graph_path = flags.AddString(
       "graph", "", "SNAP edge-list file (overrides --dataset)");
+  std::string* graph_file = flags.AddString(
+      "graph-file", "",
+      ".imgrf graph file to mmap as the out-of-core backend (overrides "
+      "--graph/--dataset; weights are baked into the file)");
   bool* bidirectional = flags.AddBool(
       "bidirectional", false, "treat --graph arcs as undirected edges");
   std::string* scale = flags.AddString("scale", "bench", "dataset scale");
@@ -109,8 +118,9 @@ int main(int argc, char** argv) {
       "eps", 0.5, "service default sampling accuracy for --serve queries");
   bool* keep_going = flags.AddBool(
       "keep-going", false,
-      "--serve: report malformed workload lines and failed mutations as "
-      "{\"op\":\"error\"} records and keep replaying instead of stopping");
+      "degrade instead of aborting: a refused --graph-file falls back to "
+      "edge-list loading; --serve reports malformed workload lines and "
+      "failed mutations as {\"op\":\"error\"} records and keeps replaying");
   std::string* checkpoint_path = flags.AddString(
       "checkpoint", "",
       "--serve: recover the warm RR corpus from this file on start (if it "
@@ -161,11 +171,48 @@ int main(int argc, char** argv) {
       (*trace_table || !trace_out->empty()) ? &trace : nullptr;
   if (tr != nullptr) tr->Annotate("mc_engine", McEngineName(mc_engine));
 
-  // Build the graph.
+  // Build the graph: the mmap'd compact backend when --graph-file opens
+  // cleanly, the heap CSR otherwise.
   Graph graph;
+  CompactGraph compact;
+  bool use_compact = false;
   {
     Span setup_span(tr, "setup");
-    if (!graph_path->empty()) {
+    if (!graph_file->empty()) {
+      CompactGraph::OpenOptions open_options;
+      open_options.trace = tr;
+      std::string error;
+      const GraphFileStatus status =
+          CompactGraph::Open(*graph_file, &compact, &error, open_options);
+      if (status == GraphFileStatus::kOk) {
+        if (compact.weight_model() != model) {
+          std::fprintf(stderr,
+                       "%s carries %s weights baked in; rerun with "
+                       "--model=%s\n",
+                       graph_file->c_str(),
+                       WeightModelName(compact.weight_model()).c_str(),
+                       WeightModelName(compact.weight_model()).c_str());
+          return 1;
+        }
+        use_compact = true;
+      } else if (*keep_going) {
+        std::fprintf(stderr,
+                     "warning: cannot open %s (%s: %s); degrading to "
+                     "edge-list loading\n",
+                     graph_file->c_str(), GraphFileStatusName(status),
+                     error.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "cannot open %s (%s): %s\n"
+                     "(--keep-going degrades to --graph/--dataset loading)\n",
+                     graph_file->c_str(), GraphFileStatusName(status),
+                     error.c_str());
+        return 1;
+      }
+    }
+    if (use_compact) {
+      // Weights are baked into the file; nothing else to set up.
+    } else if (!graph_path->empty()) {
       EdgeListError error;
       const auto loaded = LoadEdgeList(*graph_path, nullptr, &error);
       if (!loaded.has_value()) {
@@ -185,6 +232,12 @@ int main(int argc, char** argv) {
   }
 
   if (*serve) {
+    if (use_compact) {
+      std::fprintf(stderr,
+                   "--serve mutates the graph (EpochGraphStore) and needs "
+                   "the in-memory backend; drop --graph-file\n");
+      return 2;
+    }
     if (workload_path->empty()) {
       std::fprintf(stderr, "--serve requires --workload=FILE\n");
       return 2;
@@ -305,13 +358,28 @@ int main(int argc, char** argv) {
                  spec->name.c_str(), DiffusionKindName(kind));
     return 1;
   }
+  if (use_compact && !spec->supports_compact) {
+    std::fprintf(stderr,
+                 "%s traverses the heap CSR directly and cannot run on "
+                 "--graph-file; techniques supporting it:",
+                 spec->name.c_str());
+    for (const AlgorithmSpec& s : AlgorithmRegistry()) {
+      if (s.supports_compact) std::fprintf(stderr, " %s", s.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
   double param = *parameter;
   if (std::isnan(param)) param = spec->OptimalParameterFor(model);
   std::unique_ptr<ImAlgorithm> instance = spec->make(param);
 
   Counters counters;
   SelectionInput input;
-  input.graph = &graph;
+  if (use_compact) {
+    input.compact = &compact;
+  } else {
+    input.graph = &graph;
+  }
   input.diffusion = kind;
   input.k = static_cast<uint32_t>(*k);
   input.seed = static_cast<uint64_t>(*seed);
@@ -336,6 +404,7 @@ int main(int argc, char** argv) {
   const double select_secs = timer.Seconds();
   const uint64_t peak = PeakHeapBytes() - heap_before;
 
+  const GraphView view = input.View();
   timer.Restart();
   SpreadOptions eval;
   eval.simulations = static_cast<uint32_t>(*mc);
@@ -344,13 +413,14 @@ int main(int argc, char** argv) {
   eval.threads = static_cast<uint32_t>(*threads);
   eval.trace = tr;
   Span evaluate_span(tr, "evaluate");
-  const SpreadEstimate sigma = EstimateSpread(graph, kind, result.seeds, eval);
+  const SpreadEstimate sigma = EstimateSpread(view, kind, result.seeds, eval);
   evaluate_span.Close();
   const double eval_secs = timer.Seconds();
 
-  std::printf("graph: %u nodes, %llu arcs; model %s; algorithm %s",
-              graph.num_nodes(),
-              static_cast<unsigned long long>(graph.num_edges()),
+  std::printf("graph: %u nodes, %llu arcs%s; model %s; algorithm %s",
+              view.num_nodes(),
+              static_cast<unsigned long long>(view.num_edges()),
+              use_compact ? " (mmap'd graph file)" : "",
               WeightModelName(model).c_str(), spec->name.c_str());
   if (spec->HasParameter()) {
     std::printf(" (%s = %g)", spec->parameter_name.c_str(), param);
@@ -360,7 +430,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nspread: %.1f +/- %.2f (%.2f%% of network, %u sims, %s engine, "
       "%.2fs)\n",
-      sigma.mean, sigma.StdError(), 100.0 * sigma.mean / graph.num_nodes(),
+      sigma.mean, sigma.StdError(), 100.0 * sigma.mean / view.num_nodes(),
       sigma.simulations, McEngineName(mc_engine), eval_secs);
   if (result.internal_spread_estimate > 0) {
     std::printf("algorithm's internal estimate: %.1f\n",
@@ -374,7 +444,18 @@ int main(int argc, char** argv) {
                 input.k);
   }
   std::printf("\n");
-  if (*exact_opt) {
+  if (use_compact) {
+    // File-backed pages are reclaimable page cache, not heap — report them
+    // separately so the heap figure above stays comparable to in-memory
+    // runs (see EXPERIMENTS.md, memory accounting).
+    std::printf("graph file: %.2f MB resident of %.2f MB mapped\n",
+                compact.ResidentBytes() / 1e6, compact.MappedBytes() / 1e6);
+  }
+  if (*exact_opt && use_compact) {
+    std::printf(
+        "exact-opt: needs the in-memory backend (closure tables index the "
+        "heap CSR); rerun without --graph-file\n");
+  } else if (*exact_opt) {
     ExactOptOptions exact;
     exact.node_budget = static_cast<uint64_t>(*bnb_node_budget);
     exact.threads = static_cast<uint32_t>(*threads);
